@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Every bench prints aligned predicted-vs-measured tables (fl::util::Table)
+// and accepts --quick (smaller sweeps) plus --csv (machine-readable dump)
+// and --seed. The experiment ids (E1..E10) are indexed in DESIGN.md §3 and
+// their outcomes recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace fl::bench {
+
+struct Env {
+  bool quick = false;
+  bool csv = false;
+  std::uint64_t seed = 1;
+
+  static Env parse(int argc, const char* const* argv) {
+    util::Options opt(argc, argv);
+    Env env;
+    env.quick = opt.get_bool("quick", false);
+    env.csv = opt.get_bool("csv", false);
+    env.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    return env;
+  }
+
+  void emit(const util::Table& table, const std::string& title) const {
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout, title);
+      std::cout << '\n';
+    }
+  }
+};
+
+inline std::string ratio_cell(double measured, double predicted) {
+  if (predicted <= 0.0) return "-";
+  return util::fixed(measured / predicted, 3);
+}
+
+}  // namespace fl::bench

@@ -1,0 +1,94 @@
+// Micro timing benchmarks (google-benchmark): wall-clock throughput of the
+// main building blocks. These measure *our implementation's* speed, not the
+// paper's model quantities — the model quantities live in bench_e1..e10.
+#include <benchmark/benchmark.h>
+
+#include "baseline/baswana_sen.hpp"
+#include "core/config.hpp"
+#include "core/distributed_sampler.hpp"
+#include "core/sampler.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/spanner_check.hpp"
+#include "graph/generators.hpp"
+#include "localsim/tlocal_broadcast.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fl;
+
+graph::Graph make_er(graph::NodeId n, std::size_t deg) {
+  util::Xoshiro256 rng(42 + n);
+  return graph::erdos_renyi_gnm(n, deg * n / 2, rng);
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_er(n, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n) * 8);
+}
+BENCHMARK(BM_GraphBuild)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto g = make_er(static_cast<graph::NodeId>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bfs_distances(g, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Bfs)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_SamplerCentralized(benchmark::State& state) {
+  const auto g = make_er(static_cast<graph::NodeId>(state.range(0)), 16);
+  const auto cfg = core::SamplerConfig::bench_profile(2, 3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_spanner(g, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_SamplerCentralized)->Arg(1024)->Arg(4096);
+
+void BM_SamplerDistributed(benchmark::State& state) {
+  const auto g = make_er(static_cast<graph::NodeId>(state.range(0)), 16);
+  const auto cfg = core::SamplerConfig::bench_profile(2, 2, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_distributed_sampler(g, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_SamplerDistributed)->Arg(512)->Arg(1024);
+
+void BM_BaswanaSenCentralized(benchmark::State& state) {
+  const auto g = make_er(static_cast<graph::NodeId>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::build_baswana_sen(g, 3, 11));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_BaswanaSenCentralized)->Arg(1024)->Arg(4096);
+
+void BM_TLocalBroadcast(benchmark::State& state) {
+  const auto g = make_er(1024, 16);
+  const auto edges = localsim::all_edges(g);
+  const auto t = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(localsim::run_tlocal_broadcast(g, edges, t, 13));
+  }
+}
+BENCHMARK(BM_TLocalBroadcast)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SpannerCheckExact(benchmark::State& state) {
+  const auto g = make_er(static_cast<graph::NodeId>(state.range(0)), 16);
+  const auto cfg = core::SamplerConfig::bench_profile(2, 3, 17);
+  const auto res = core::build_spanner(g, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::check_spanner_exact(g, res.edges));
+  }
+}
+BENCHMARK(BM_SpannerCheckExact)->Arg(512)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

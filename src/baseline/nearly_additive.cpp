@@ -1,0 +1,167 @@
+#include "baseline/nearly_additive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fl::baseline {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::kInvalidEdge;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+double nearly_additive_center_prob(NodeId n) {
+  if (n < 2) return 1.0;
+  const double nn = static_cast<double>(n);
+  return std::min(1.0, std::sqrt(std::log(nn) / nn));
+}
+
+bool nearly_additive_is_center(std::uint64_t seed, NodeId v, NodeId n) {
+  auto rng = util::StreamFactory(seed).trial_stream(v, 0, 0x4E414443ULL);
+  return rng.bernoulli(nearly_additive_center_prob(n));
+}
+
+namespace {
+
+/// (distance, center) labels of the truncated Voronoi diagram, computed by
+/// layered propagation: C_v (the set of nearest centers of v) satisfies
+/// C_v = ∪ { C_u : u ∈ N(v), dist_u = dist_v − 1 }, so taking the min
+/// center id layer by layer is exact.
+struct Labels {
+  std::vector<std::uint32_t> dist;  // kUnreachable beyond radius r
+  std::vector<NodeId> cent;         // kInvalidNode when unclustered
+};
+
+/// Label the nodes listed in `active` (others ignored) of graph `g`; node
+/// membership is tested through `in_scope`. Pass all nodes for the global
+/// construction or a ball for the local variant.
+template <typename InScopeFn>
+Labels label_cells(const Graph& g, const std::vector<NodeId>& active,
+                   unsigned r, std::uint64_t seed, InScopeFn&& in_scope) {
+  Labels lb;
+  lb.dist.assign(g.num_nodes(), graph::kUnreachable);
+  lb.cent.assign(g.num_nodes(), kInvalidNode);
+
+  std::vector<NodeId> frontier;
+  for (const NodeId v : active) {
+    if (nearly_additive_is_center(seed, v, g.num_nodes())) {
+      lb.dist[v] = 0;
+      lb.cent[v] = v;
+      frontier.push_back(v);
+    }
+  }
+  std::vector<NodeId> next;
+  for (unsigned d = 0; d < r && !frontier.empty(); ++d) {
+    next.clear();
+    // First sweep: establish the next layer's distance.
+    for (const NodeId v : frontier) {
+      for (const auto& inc : g.incident(v)) {
+        if (!in_scope(inc.to)) continue;
+        if (lb.dist[inc.to] == graph::kUnreachable) {
+          lb.dist[inc.to] = d + 1;
+          next.push_back(inc.to);
+        }
+      }
+    }
+    // Second sweep: each new node adopts the min center among its
+    // previous-layer neighbours (exact by the C_v union identity).
+    for (const NodeId u : next) {
+      NodeId best = kInvalidNode;
+      for (const auto& inc : g.incident(u)) {
+        if (!in_scope(inc.to)) continue;
+        if (lb.dist[inc.to] == d && lb.cent[inc.to] < best)
+          best = lb.cent[inc.to];
+      }
+      FL_ENSURE(best != kInvalidNode, "layered labelling broke");
+      lb.cent[u] = best;
+    }
+    frontier.swap(next);
+  }
+  return lb;
+}
+
+/// The edges node v contributes given finalized labels of v and N(v).
+void contribute(const Graph& g, NodeId v, const Labels& lb,
+                std::vector<EdgeId>& out) {
+  if (lb.cent[v] == kInvalidNode) {
+    // Unclustered: keep everything incident.
+    for (const auto& inc : g.incident(v)) out.push_back(inc.edge);
+    return;
+  }
+  // Parent edge: least-id edge to a previous-layer neighbour of my cell.
+  if (lb.dist[v] > 0) {
+    EdgeId parent = kInvalidEdge;
+    for (const auto& inc : g.incident(v)) {
+      if (lb.dist[inc.to] == lb.dist[v] - 1 && lb.cent[inc.to] == lb.cent[v] &&
+          (parent == kInvalidEdge || inc.edge < parent))
+        parent = inc.edge;
+    }
+    FL_ENSURE(parent != kInvalidEdge, "Voronoi cell not connected");
+    out.push_back(parent);
+  }
+  // One least-id edge towards every adjacent foreign cell.
+  std::unordered_map<NodeId, EdgeId> per_cell;
+  for (const auto& inc : g.incident(v)) {
+    const NodeId c = lb.cent[inc.to];
+    if (c == kInvalidNode || c == lb.cent[v]) continue;
+    auto [it, fresh] = per_cell.try_emplace(c, inc.edge);
+    if (!fresh && inc.edge < it->second) it->second = inc.edge;
+  }
+  for (const auto& [c, e] : per_cell) out.push_back(e);
+}
+
+}  // namespace
+
+NearlyAdditiveResult build_nearly_additive(const Graph& g, unsigned r,
+                                           std::uint64_t seed) {
+  FL_REQUIRE(r >= 1, "nearly-additive spanner needs radius >= 1");
+  NearlyAdditiveResult result;
+  result.radius = r;
+
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  const Labels lb =
+      label_cells(g, all, r, seed, [](NodeId) { return true; });
+
+  std::vector<bool> in_spanner(g.num_edges(), false);
+  std::vector<EdgeId> buf;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (lb.dist[v] == 0) ++result.centers;
+    if (lb.cent[v] == kInvalidNode) ++result.unclustered;
+    buf.clear();
+    contribute(g, v, lb, buf);
+    for (const EdgeId e : buf) in_spanner[e] = true;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (in_spanner[e]) result.edges.push_back(e);
+  return result;
+}
+
+std::vector<EdgeId> nearly_additive_local_edges(const Graph& g, NodeId v,
+                                                unsigned r,
+                                                std::uint64_t seed) {
+  FL_REQUIRE(r >= 1, "nearly-additive spanner needs radius >= 1");
+  // v's contribution depends only on labels of N(v) ∪ {v}, which in turn
+  // depend only on the (r+1)-ball of v (all relevant center paths stay
+  // inside it), so restricting the labelling to the ball is exact.
+  const auto dist_from_v = graph::bfs_distances_bounded(g, v, r + 1);
+  std::vector<NodeId> ball;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    if (dist_from_v[u] != graph::kUnreachable) ball.push_back(u);
+  const Labels lb =
+      label_cells(g, ball, r, seed, [&](NodeId u) {
+        return dist_from_v[u] != graph::kUnreachable;
+      });
+  std::vector<EdgeId> out;
+  contribute(g, v, lb, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fl::baseline

@@ -1,0 +1,417 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace fl::graph {
+
+namespace {
+
+/// Small union-find used for connectivity patching inside generators.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+};
+
+}  // namespace
+
+Graph ensure_connected(Graph g, util::Xoshiro256& rng) {
+  const NodeId n = g.num_nodes();
+  if (n <= 1) return g;
+  UnionFind uf(n);
+  for (const auto& e : g.edges()) uf.unite(e.u, e.v);
+
+  // Collect one representative per component.
+  std::vector<NodeId> reps;
+  {
+    std::vector<bool> seen_root(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto root = uf.find(v);
+      if (!seen_root[root]) {
+        seen_root[root] = true;
+        reps.push_back(v);
+      }
+    }
+  }
+  if (reps.size() == 1) return g;
+
+  // Rebuild with bridging edges between random members of the components.
+  Graph::Builder b(n);
+  for (const auto& e : g.edges()) b.add_edge(e.u, e.v);
+  util::shuffle(reps, rng);
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    // Bridge component i to a random earlier component's representative.
+    NodeId u = reps[i - 1];
+    NodeId v = reps[i];
+    if (!b.has_edge(u, v)) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph erdos_renyi_gnm(NodeId n, std::size_t m, util::Xoshiro256& rng) {
+  FL_REQUIRE(n >= 2, "G(n,m) needs n >= 2");
+  const std::size_t max_edges =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  FL_REQUIRE(m <= max_edges, "G(n,m): m exceeds the complete graph");
+
+  Graph::Builder b(n);
+  // Dense request: sample which edges to *exclude* instead.
+  if (m > max_edges / 2) {
+    std::vector<std::uint8_t> excluded_hint;  // via hash set of packed pairs
+    // Simpler: enumerate all pairs, reservoir-choose m of them.
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(max_edges);
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v) pairs.emplace_back(u, v);
+    util::shuffle(pairs, rng);
+    for (std::size_t i = 0; i < m; ++i) b.add_edge(pairs[i].first, pairs[i].second);
+  } else {
+    std::size_t added = 0;
+    while (added < m) {
+      const NodeId u = static_cast<NodeId>(rng.index(n));
+      const NodeId v = static_cast<NodeId>(rng.index(n));
+      if (u == v || b.has_edge(u, v)) continue;
+      b.add_edge(u, v);
+      ++added;
+    }
+  }
+  return ensure_connected(std::move(b).build(), rng);
+}
+
+Graph erdos_renyi_gnp(NodeId n, double p, util::Xoshiro256& rng) {
+  FL_REQUIRE(n >= 2, "G(n,p) needs n >= 2");
+  FL_REQUIRE(p >= 0.0 && p <= 1.0, "G(n,p) needs p in [0,1]");
+  Graph::Builder b(n);
+  if (p > 0.0) {
+    // Geometric skipping over the lexicographic pair order: O(m) expected.
+    const double log_q = std::log1p(-p);
+    std::uint64_t idx = 0;  // linear index into the (u < v) pair sequence
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    while (true) {
+      if (p < 1.0) {
+        // Geometric gap: skip ~ floor(ln(1-U)/ln(1-p)), U uniform in [0,1).
+        const double r = rng.uniform01();
+        const double skip = std::floor(std::log1p(-r) / log_q);
+        idx += static_cast<std::uint64_t>(skip);
+      }
+      if (idx >= total) break;
+      // Invert the linear index to (u, v). Solve u from the triangular sum.
+      NodeId u = 0;
+      std::uint64_t rem = idx;
+      std::uint64_t row = n - 1;
+      while (rem >= row) {
+        rem -= row;
+        ++u;
+        --row;
+      }
+      const NodeId v = static_cast<NodeId>(u + 1 + rem);
+      b.add_edge(u, v);
+      ++idx;
+    }
+  }
+  return ensure_connected(std::move(b).build(), rng);
+}
+
+Graph complete(NodeId n) {
+  FL_REQUIRE(n >= 2, "complete graph needs n >= 2");
+  Graph::Builder b(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph complete_bipartite(NodeId a, NodeId bb) {
+  FL_REQUIRE(a >= 1 && bb >= 1, "K_{a,b} needs both sides non-empty");
+  Graph::Builder b(a + bb);
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < bb; ++v) b.add_edge(u, a + v);
+  return std::move(b).build();
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  FL_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid too small");
+  Graph::Builder b(rows * cols);
+  auto at = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) b.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  FL_REQUIRE(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+  Graph::Builder b(rows * cols);
+  auto at = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      b.add_edge(at(r, c), at(r, (c + 1) % cols));
+      b.add_edge(at(r, c), at((r + 1) % rows, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph hypercube(unsigned dim) {
+  FL_REQUIRE(dim >= 1 && dim <= 24, "hypercube dimension out of range");
+  const NodeId n = NodeId{1} << dim;
+  Graph::Builder b(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (unsigned d = 0; d < dim; ++d) {
+      const NodeId u = v ^ (NodeId{1} << d);
+      if (v < u) b.add_edge(v, u);
+    }
+  return std::move(b).build();
+}
+
+Graph ring(NodeId n) {
+  FL_REQUIRE(n >= 3, "ring needs n >= 3");
+  Graph::Builder b(n);
+  for (NodeId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return std::move(b).build();
+}
+
+Graph path(NodeId n) {
+  FL_REQUIRE(n >= 2, "path needs n >= 2");
+  Graph::Builder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+Graph star(NodeId n) {
+  FL_REQUIRE(n >= 2, "star needs n >= 2");
+  Graph::Builder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return std::move(b).build();
+}
+
+Graph random_tree(NodeId n, util::Xoshiro256& rng) {
+  FL_REQUIRE(n >= 2, "random tree needs n >= 2");
+  Graph::Builder b(n);
+  // Random attachment: node v joins a uniformly random earlier node.
+  for (NodeId v = 1; v < n; ++v)
+    b.add_edge(v, static_cast<NodeId>(rng.index(v)));
+  return std::move(b).build();
+}
+
+Graph barabasi_albert(NodeId n, NodeId attach, util::Xoshiro256& rng) {
+  FL_REQUIRE(attach >= 1, "BA needs attach >= 1");
+  FL_REQUIRE(n > attach, "BA needs n > attach");
+  Graph::Builder b(n);
+  // Seed: a clique on attach+1 nodes keeps early degrees non-degenerate.
+  for (NodeId u = 0; u <= attach; ++u)
+    for (NodeId v = u + 1; v <= attach; ++v) b.add_edge(u, v);
+
+  // Endpoint pool: each edge contributes both endpoints, so sampling the
+  // pool uniformly is sampling nodes proportionally to degree.
+  std::vector<NodeId> pool;
+  for (NodeId u = 0; u <= attach; ++u)
+    for (NodeId v = u + 1; v <= attach; ++v) {
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+
+  for (NodeId v = attach + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (targets.size() < attach) {
+      const NodeId t = pool[rng.index(pool.size())];
+      if (t == v) continue;
+      if (std::find(targets.begin(), targets.end(), t) != targets.end())
+        continue;
+      targets.push_back(t);
+    }
+    for (const NodeId t : targets) {
+      b.add_edge(v, t);
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph random_geometric(NodeId n, double radius, util::Xoshiro256& rng) {
+  FL_REQUIRE(n >= 2, "RGG needs n >= 2");
+  FL_REQUIRE(radius > 0.0, "RGG needs a positive radius");
+  std::vector<double> x(n), y(n);
+  for (NodeId v = 0; v < n; ++v) {
+    x[v] = rng.uniform01();
+    y[v] = rng.uniform01();
+  }
+  // Bucket the unit square into cells of side `radius`; only neighbouring
+  // cells can contain nodes within the connection radius.
+  const auto cells = static_cast<std::size_t>(
+      std::max(1.0, std::floor(1.0 / radius)));
+  std::vector<std::vector<NodeId>> bucket(cells * cells);
+  auto cell_of = [&](NodeId v) {
+    auto cx = std::min(cells - 1, static_cast<std::size_t>(x[v] * static_cast<double>(cells)));
+    auto cy = std::min(cells - 1, static_cast<std::size_t>(y[v] * static_cast<double>(cells)));
+    return cy * cells + cx;
+  };
+  for (NodeId v = 0; v < n; ++v) bucket[cell_of(v)].push_back(v);
+
+  Graph::Builder b(n);
+  const double r2 = radius * radius;
+  for (std::size_t cy = 0; cy < cells; ++cy) {
+    for (std::size_t cx = 0; cx < cells; ++cx) {
+      for (int dy = 0; dy <= 1; ++dy) {
+        for (int dx = (dy == 0 ? 0 : -1); dx <= 1; ++dx) {
+          const auto ny = cy + static_cast<std::size_t>(dy);
+          const auto nx_signed = static_cast<long long>(cx) + dx;
+          if (ny >= cells || nx_signed < 0 ||
+              nx_signed >= static_cast<long long>(cells))
+            continue;
+          const auto nx = static_cast<std::size_t>(nx_signed);
+          const auto& a_cell = bucket[cy * cells + cx];
+          const auto& b_cell = bucket[ny * cells + nx];
+          const bool same = (ny == cy && nx == cx);
+          for (std::size_t i = 0; i < a_cell.size(); ++i) {
+            for (std::size_t j = same ? i + 1 : 0; j < b_cell.size(); ++j) {
+              const NodeId u = a_cell[i], w = b_cell[j];
+              const double ddx = x[u] - x[w], ddy = y[u] - y[w];
+              if (ddx * ddx + ddy * ddy <= r2 && !b.has_edge(u, w))
+                b.add_edge(u, w);
+            }
+          }
+        }
+      }
+    }
+  }
+  return ensure_connected(std::move(b).build(), rng);
+}
+
+Graph dumbbell(NodeId n, NodeId bridge_len) {
+  FL_REQUIRE(n >= 6, "dumbbell needs n >= 6");
+  FL_REQUIRE(bridge_len + 4 <= n, "bridge too long for n");
+  const NodeId clique_nodes = n - bridge_len;
+  const NodeId left = clique_nodes / 2;
+  const NodeId right = clique_nodes - left;
+  FL_REQUIRE(left >= 2 && right >= 2, "dumbbell cliques too small");
+  Graph::Builder b(n);
+  for (NodeId u = 0; u < left; ++u)
+    for (NodeId v = u + 1; v < left; ++v) b.add_edge(u, v);
+  for (NodeId u = left; u < left + right; ++u)
+    for (NodeId v = u + 1; v < left + right; ++v) b.add_edge(u, v);
+  // Bridge path from node 0 to node `left` through the remaining nodes.
+  NodeId prev = 0;
+  for (NodeId i = 0; i < bridge_len; ++i) {
+    const NodeId mid = left + right + i;
+    b.add_edge(prev, mid);
+    prev = mid;
+  }
+  b.add_edge(prev, left);
+  return std::move(b).build();
+}
+
+Graph lollipop(NodeId n, NodeId clique) {
+  FL_REQUIRE(clique >= 3 && clique < n, "lollipop needs 3 <= clique < n");
+  Graph::Builder b(n);
+  for (NodeId u = 0; u < clique; ++u)
+    for (NodeId v = u + 1; v < clique; ++v) b.add_edge(u, v);
+  for (NodeId v = clique; v < n; ++v) b.add_edge(v - 1 == clique - 1 ? 0 : v - 1, v);
+  return std::move(b).build();
+}
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::ErdosRenyi: return "erdos_renyi";
+    case Family::Complete: return "complete";
+    case Family::Grid: return "grid";
+    case Family::Torus: return "torus";
+    case Family::Hypercube: return "hypercube";
+    case Family::Ring: return "ring";
+    case Family::BarabasiAlbert: return "barabasi_albert";
+    case Family::RandomGeometric: return "random_geometric";
+    case Family::RandomTree: return "random_tree";
+    case Family::Dumbbell: return "dumbbell";
+  }
+  return "unknown";
+}
+
+Graph make_family(Family family, NodeId n, double param,
+                  util::Xoshiro256& rng) {
+  switch (family) {
+    case Family::ErdosRenyi: {
+      const double avg_deg = param > 0 ? param : 8.0;
+      const auto m = static_cast<std::size_t>(
+          std::min(static_cast<double>(n) * (n - 1) / 2.0,
+                   avg_deg * static_cast<double>(n) / 2.0));
+      return erdos_renyi_gnm(n, std::max<std::size_t>(m, n - 1), rng);
+    }
+    case Family::Complete:
+      return complete(n);
+    case Family::Grid: {
+      const auto side = static_cast<NodeId>(
+          std::max(2.0, std::round(std::sqrt(static_cast<double>(n)))));
+      return grid(side, side);
+    }
+    case Family::Torus: {
+      const auto side = static_cast<NodeId>(
+          std::max(3.0, std::round(std::sqrt(static_cast<double>(n)))));
+      return torus(side, side);
+    }
+    case Family::Hypercube: {
+      unsigned dim = 1;
+      while ((NodeId{1} << (dim + 1)) <= n && dim < 24) ++dim;
+      return hypercube(dim);
+    }
+    case Family::Ring:
+      return ring(std::max<NodeId>(n, 3));
+    case Family::BarabasiAlbert: {
+      const auto attach = static_cast<NodeId>(param > 0 ? param : 4);
+      return barabasi_albert(n, std::min<NodeId>(attach, n - 1), rng);
+    }
+    case Family::RandomGeometric: {
+      // Default radius ~ sqrt(c log n / n) keeps the raw graph near the
+      // connectivity threshold; param scales it.
+      const double scale = param > 0 ? param : 1.5;
+      const double r = scale * std::sqrt(std::log(std::max<double>(n, 3)) /
+                                         static_cast<double>(n));
+      return random_geometric(n, std::min(r, 1.0), rng);
+    }
+    case Family::RandomTree:
+      return random_tree(n, rng);
+    case Family::Dumbbell:
+      return dumbbell(std::max<NodeId>(n, 6), std::max<NodeId>(2, n / 16));
+  }
+  FL_REQUIRE(false, "unknown family");
+  return Graph{};
+}
+
+std::vector<Family> all_families() {
+  return {Family::ErdosRenyi,      Family::Complete,       Family::Grid,
+          Family::Torus,           Family::Hypercube,      Family::Ring,
+          Family::BarabasiAlbert,  Family::RandomGeometric,
+          Family::RandomTree,      Family::Dumbbell};
+}
+
+}  // namespace fl::graph

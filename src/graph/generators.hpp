@@ -1,0 +1,106 @@
+// Workload (communication-graph) generators.
+//
+// The paper's claims are graph-universal, so the bench harness sweeps a
+// spectrum of families chosen to stress different regimes:
+//   * erdos_renyi_gnm / gnp — the density dial for the o(m) message claim;
+//   * complete              — the m = Θ(n²) extreme where the free lunch is
+//                             most dramatic;
+//   * grid / torus / ring   — high-diameter sparse graphs (stretch stress);
+//   * hypercube             — the classic synchronizer benchmark topology
+//                             (Peleg–Ullman [33]);
+//   * barabasi_albert       — skewed degrees, stresses heavy/light split;
+//   * random_geometric      — clustered locality, realistic radio networks;
+//   * dumbbell              — two dense cores + thin bridge: worst case for
+//                             naive sampling, exercises the trial peeling;
+//   * random_tree / path / star — degenerate sparse baselines.
+// All generators return *connected* simple graphs (connectivity patched via
+// a random spanning structure when the raw draw is disconnected, as is
+// standard practice for spanner benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fl::graph {
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges, then connected-patched.
+Graph erdos_renyi_gnm(NodeId n, std::size_t m, util::Xoshiro256& rng);
+
+/// Erdős–Rényi G(n, p) sampled by geometric skipping; connected-patched.
+Graph erdos_renyi_gnp(NodeId n, double p, util::Xoshiro256& rng);
+
+/// Complete graph K_n.
+Graph complete(NodeId n);
+
+/// Complete bipartite K_{a,b}.
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// rows × cols grid (4-neighbour).
+Graph grid(NodeId rows, NodeId cols);
+
+/// rows × cols torus (grid with wraparound); rows, cols >= 3.
+Graph torus(NodeId rows, NodeId cols);
+
+/// d-dimensional hypercube, n = 2^d nodes.
+Graph hypercube(unsigned dim);
+
+/// Cycle C_n (n >= 3).
+Graph ring(NodeId n);
+
+/// Path P_n.
+Graph path(NodeId n);
+
+/// Star with n-1 leaves.
+Graph star(NodeId n);
+
+/// Uniform random labelled tree (Prüfer-free random attachment).
+Graph random_tree(NodeId n, util::Xoshiro256& rng);
+
+/// Barabási–Albert preferential attachment; each new node attaches
+/// `attach` edges. n > attach >= 1.
+Graph barabasi_albert(NodeId n, NodeId attach, util::Xoshiro256& rng);
+
+/// Random geometric graph on the unit square with connection radius r,
+/// connected-patched. Uses grid bucketing, O(n + m) expected.
+Graph random_geometric(NodeId n, double radius, util::Xoshiro256& rng);
+
+/// Two cliques of size n/2 joined by a path of length `bridge_len`.
+Graph dumbbell(NodeId n, NodeId bridge_len);
+
+/// A clique of size `clique` with a pendant path soaking up the rest of the
+/// n nodes — skewed degree + large diameter in one graph.
+Graph lollipop(NodeId n, NodeId clique);
+
+/// Named family dispatcher used by parameterized tests and benches.
+enum class Family {
+  ErdosRenyi,      // density via param (average degree)
+  Complete,
+  Grid,
+  Torus,
+  Hypercube,
+  Ring,
+  BarabasiAlbert,  // attach via param
+  RandomGeometric, // radius multiplier via param
+  RandomTree,
+  Dumbbell,
+};
+
+std::string family_name(Family f);
+
+/// Build a connected graph of (approximately) n nodes from `family`.
+/// `param` is family-specific (see Family comments); pass 0 for defaults.
+Graph make_family(Family family, NodeId n, double param,
+                  util::Xoshiro256& rng);
+
+/// All families, for sweep loops.
+std::vector<Family> all_families();
+
+/// Add the fewest edges needed to connect `g` (random inter-component
+/// pairs). Returns g unchanged when already connected.
+Graph ensure_connected(Graph g, util::Xoshiro256& rng);
+
+}  // namespace fl::graph

@@ -1,0 +1,40 @@
+// Fundamental identifier types shared by the whole library.
+//
+// The paper's model (Section 1.1) assumes *unique edge IDs known to both
+// endpoints*. We realize that by making EdgeId the index of an edge in the
+// physical communication graph's edge array: both endpoints trivially agree
+// on it, it is unique, and virtual (cluster-graph) edges can carry the
+// physical id of the edge they contract from — exactly the information the
+// distributed algorithm routes on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fl::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Undirected edge endpoints; by convention u <= v for simple graphs
+/// (normalized at build time), but multigraphs keep insertion order.
+struct Endpoints {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  friend bool operator==(const Endpoints&, const Endpoints&) = default;
+};
+
+/// An entry in a node's incidence list: the neighbour reached and the id of
+/// the edge used. For multigraphs several entries may share `to`.
+struct Incidence {
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+
+  friend bool operator==(const Incidence&, const Incidence&) = default;
+};
+
+}  // namespace fl::graph

@@ -1,0 +1,69 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fl::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "n " << g.num_nodes() << '\n';
+  for (const auto& e : g.edges()) os << "e " << e.u << ' ' << e.v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  NodeId n = 0;
+  bool have_n = false;
+  std::vector<Endpoints> edges;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'n') {
+      FL_REQUIRE(!have_n, "duplicate 'n' line in edge list");
+      ls >> n;
+      FL_REQUIRE(static_cast<bool>(ls), "malformed 'n' line");
+      have_n = true;
+    } else if (tag == 'e') {
+      Endpoints e;
+      ls >> e.u >> e.v;
+      FL_REQUIRE(static_cast<bool>(ls), "malformed 'e' line");
+      edges.push_back(e);
+    } else {
+      FL_REQUIRE(false, std::string("unknown edge-list tag '") + tag + "'");
+    }
+  }
+  FL_REQUIRE(have_n, "edge list missing 'n' line");
+  Graph::Builder b(n);
+  for (const auto& e : edges) b.add_edge(e.u, e.v);
+  return std::move(b).build();
+}
+
+void write_dot(std::ostream& os, const Graph& g,
+               std::span<const EdgeId> highlighted_edges,
+               const std::string& name) {
+  std::vector<bool> highlight(g.num_edges(), false);
+  for (const EdgeId e : highlighted_edges) {
+    FL_REQUIRE(e < g.num_edges(), "highlighted edge id out of range");
+    highlight[e] = true;
+  }
+  os << "graph " << name << " {\n";
+  os << "  node [shape=circle fontsize=10];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) os << "  " << v << ";\n";
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Endpoints ep = g.endpoints(e);
+    os << "  " << ep.u << " -- " << ep.v;
+    if (highlight[e]) os << " [penwidth=2.5 color=crimson]";
+    else os << " [color=gray60]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace fl::graph

@@ -1,0 +1,134 @@
+#include "graph/multigraph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace fl::graph {
+
+Multigraph::Multigraph(NodeId num_nodes, std::vector<MEdge> edges)
+    : n_(num_nodes), edges_(std::move(edges)) {
+  for (const auto& e : edges_) {
+    FL_REQUIRE(e.u < n_ && e.v < n_, "multigraph endpoint out of range");
+    FL_REQUIRE(e.u != e.v, "self-loops must be dropped before construction");
+  }
+  build_incidence();
+}
+
+Multigraph Multigraph::from_graph(const Graph& g) {
+  std::vector<MEdge> edges;
+  edges.reserve(g.num_edges());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Endpoints ep = g.endpoints(id);
+    edges.push_back(MEdge{ep.u, ep.v, id});
+  }
+  return Multigraph(g.num_nodes(), std::move(edges));
+}
+
+void Multigraph::build_incidence() {
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i)
+    offsets_[i] += offsets_[i - 1];
+
+  incidence_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const auto& e = edges_[id];
+    incidence_[cursor[e.u]++] = Incidence{e.v, id};
+    incidence_[cursor[e.v]++] = Incidence{e.u, id};
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    auto begin = incidence_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+    auto end = incidence_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+    std::sort(begin, end, [](const Incidence& a, const Incidence& b) {
+      return a.to < b.to || (a.to == b.to && a.edge < b.edge);
+    });
+  }
+}
+
+const Multigraph::MEdge& Multigraph::edge(EdgeId e) const {
+  FL_REQUIRE(e < edges_.size(), "multigraph edge id out of range");
+  return edges_[e];
+}
+
+NodeId Multigraph::other_endpoint(EdgeId e, NodeId v) const {
+  const MEdge& me = edge(e);
+  FL_REQUIRE(me.u == v || me.v == v, "node is not an endpoint of this edge");
+  return me.u == v ? me.v : me.u;
+}
+
+std::span<const Incidence> Multigraph::incident(NodeId v) const {
+  FL_REQUIRE(v < n_, "node id out of range");
+  return {incidence_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::size_t Multigraph::incident_count(NodeId v) const {
+  FL_REQUIRE(v < n_, "node id out of range");
+  return offsets_[v + 1] - offsets_[v];
+}
+
+std::vector<NodeId> Multigraph::neighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  NodeId last = kInvalidNode;
+  for (const auto& inc : incident(v)) {
+    if (inc.to != last) {
+      out.push_back(inc.to);
+      last = inc.to;
+    }
+  }
+  return out;
+}
+
+std::size_t Multigraph::distinct_neighbor_count(NodeId v) const {
+  std::size_t count = 0;
+  NodeId last = kInvalidNode;
+  for (const auto& inc : incident(v)) {
+    if (inc.to != last) {
+      ++count;
+      last = inc.to;
+    }
+  }
+  return count;
+}
+
+std::vector<EdgeId> Multigraph::edges_between(NodeId v, NodeId u) const {
+  std::vector<EdgeId> out;
+  const auto inc = incident(v);
+  // Incidence is sorted by neighbour, so the parallel block is contiguous.
+  auto it = std::lower_bound(
+      inc.begin(), inc.end(), u,
+      [](const Incidence& a, NodeId b) { return a.to < b; });
+  for (; it != inc.end() && it->to == u; ++it) out.push_back(it->edge);
+  return out;
+}
+
+Multigraph Multigraph::contract(std::span<const NodeId> cluster_of,
+                                NodeId num_clusters) const {
+  FL_REQUIRE(cluster_of.size() == n_, "cluster assignment arity mismatch");
+  for (const NodeId c : cluster_of)
+    FL_REQUIRE(c == kInvalidNode || c < num_clusters,
+               "cluster id out of range");
+
+  std::vector<MEdge> next_edges;
+  for (const auto& e : edges_) {
+    const NodeId cu = cluster_of[e.u];
+    const NodeId cv = cluster_of[e.v];
+    if (cu == kInvalidNode || cv == kInvalidNode) continue;  // dropped node
+    if (cu == cv) continue;                                  // intra-cluster
+    next_edges.push_back(MEdge{cu, cv, e.physical});
+  }
+  return Multigraph(num_clusters, std::move(next_edges));
+}
+
+std::string Multigraph::summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "n=%u m=%zu (multigraph)", n_, edges_.size());
+  return buf;
+}
+
+}  // namespace fl::graph

@@ -1,0 +1,82 @@
+// Undirected multigraph with per-edge *physical id* provenance.
+//
+// The Sampler hierarchy (paper Section 3) contracts clusters of G_j into the
+// nodes of G_{j+1}; even when the input graph is simple, the cluster graphs
+// G_1, ..., G_k carry parallel edges. Each virtual edge remembers the id of
+// the physical edge of G_0 it descends from — this is exactly the unique-
+// edge-ID information the distributed implementation (Section 5) routes
+// query messages on, and what lets a node "peel off" every edge parallel to
+// a discovered neighbour (Section 1.3).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+
+namespace fl::graph {
+
+class Multigraph {
+ public:
+  /// A multigraph edge: virtual endpoints plus physical-edge provenance.
+  struct MEdge {
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    EdgeId physical = kInvalidEdge;  ///< id in the level-0 communication graph
+
+    friend bool operator==(const MEdge&, const MEdge&) = default;
+  };
+
+  Multigraph() = default;
+
+  /// Direct construction from an edge list over `num_nodes` nodes.
+  /// Self-loops are rejected (contraction drops them before this point).
+  Multigraph(NodeId num_nodes, std::vector<MEdge> edges);
+
+  /// Level-0 view of a simple communication graph: virtual node == physical
+  /// node, physical id == edge id.
+  static Multigraph from_graph(const Graph& g);
+
+  NodeId num_nodes() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  const MEdge& edge(EdgeId e) const;
+  NodeId other_endpoint(EdgeId e, NodeId v) const;
+
+  /// Incidence list of `v`; parallel edges appear once per multiplicity.
+  std::span<const Incidence> incident(NodeId v) const;
+
+  /// Number of incident edges counting multiplicity, |E_j(v)|.
+  std::size_t incident_count(NodeId v) const;
+
+  /// Distinct neighbours of `v`, ascending, |N_j(v)| elements.
+  std::vector<NodeId> neighbors(NodeId v) const;
+
+  /// |N_j(v)| without materializing the neighbour list.
+  std::size_t distinct_neighbor_count(NodeId v) const;
+
+  /// All (local) edge ids connecting v and u — the paper's E_j(v, u).
+  std::vector<EdgeId> edges_between(NodeId v, NodeId u) const;
+
+  /// Contract per the cluster assignment: `cluster_of[v]` is the new node id
+  /// of v's cluster, or kInvalidNode when v is unclustered (dropped).
+  /// Intra-cluster edges and edges touching dropped nodes disappear;
+  /// surviving edges keep their physical ids. `num_clusters` is the node
+  /// count of the result.
+  Multigraph contract(std::span<const NodeId> cluster_of,
+                      NodeId num_clusters) const;
+
+  std::string summary() const;
+
+ private:
+  void build_incidence();
+
+  NodeId n_ = 0;
+  std::vector<MEdge> edges_;
+  std::vector<std::size_t> offsets_;  // n_ + 1
+  std::vector<Incidence> incidence_;  // 2m, sorted by neighbour within a node
+};
+
+}  // namespace fl::graph

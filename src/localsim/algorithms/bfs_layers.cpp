@@ -1,0 +1,14 @@
+#include "localsim/algorithms.hpp"
+
+namespace fl::localsim {
+
+std::uint64_t BfsLayers::compute(const BallView& ball) const {
+  std::uint64_t best = static_cast<std::uint64_t>(t_) + 1;
+  for (graph::NodeId u = 0; u < ball.g->num_nodes(); ++u) {
+    if (!ball.contains(u) || u % modulus_ != 0) continue;
+    best = std::min<std::uint64_t>(best, ball.dist[u]);
+  }
+  return best;
+}
+
+}  // namespace fl::localsim

@@ -1,0 +1,12 @@
+#include "localsim/algorithms.hpp"
+
+namespace fl::localsim {
+
+std::uint64_t LeaderElection::compute(const BallView& ball) const {
+  graph::NodeId best = ball.center;
+  for (graph::NodeId u = 0; u < ball.g->num_nodes(); ++u)
+    if (ball.contains(u) && u > best) best = u;
+  return best;
+}
+
+}  // namespace fl::localsim

@@ -1,0 +1,11 @@
+#include "localsim/algorithms.hpp"
+
+namespace fl::localsim {
+
+std::uint64_t LocalMin::compute(const BallView& ball) const {
+  for (graph::NodeId u = 0; u < ball.g->num_nodes(); ++u)
+    if (ball.contains(u) && u < ball.center) return 0;
+  return 1;
+}
+
+}  // namespace fl::localsim

@@ -1,0 +1,81 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "localsim/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace fl::localsim {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+namespace {
+
+/// Per-(edge, round) priority; deterministic function of the seed so the
+/// algorithm is a ball function (edge ids are known to both endpoints —
+/// exactly the paper's model assumption).
+std::uint64_t priority(std::uint64_t seed, EdgeId e, unsigned round) {
+  return util::SplitMix64::combine(
+      util::SplitMix64::combine(seed ^ 0xabcdef12345ULL, e), round);
+}
+
+}  // namespace
+
+unsigned MaximalMatching::radius(const graph::Graph& g) const {
+  if (rounds_ > 0) return rounds_;
+  const double n = std::max<double>(g.num_nodes(), 2);
+  return 4u * static_cast<unsigned>(std::ceil(std::log2(n)));
+}
+
+std::uint64_t MaximalMatching::compute(const BallView& ball) const {
+  // Simulate on the induced ball subgraph; the usual LOCAL argument keeps
+  // the center's state exact for all `radius` rounds.
+  const graph::Graph& g = *ball.g;
+  const unsigned t = ball.radius;
+
+  std::vector<NodeId> members;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    if (ball.contains(u)) members.push_back(u);
+
+  std::vector<NodeId> partner(g.num_nodes(), graph::kInvalidNode);
+  for (unsigned r = 0; r < t; ++r) {
+    // An edge joins the matching iff both endpoints are unmatched and its
+    // priority beats every competing incident edge (with two unmatched
+    // endpoints) at both ends. Winners are vertex-disjoint by construction.
+    std::vector<std::pair<NodeId, NodeId>> winners;
+    for (const NodeId u : members) {
+      if (partner[u] != graph::kInvalidNode) continue;
+      for (const auto& inc : g.incident(u)) {
+        const NodeId v = inc.to;
+        if (v < u) continue;  // consider each edge once
+        if (!ball.contains(v) || partner[v] != graph::kInvalidNode) continue;
+        const std::uint64_t mine = priority(seed_, inc.edge, r);
+        bool wins = true;
+        auto beats_competitors = [&](NodeId endpoint) {
+          for (const auto& jnc : g.incident(endpoint)) {
+            if (jnc.edge == inc.edge) continue;
+            if (!ball.contains(jnc.to) ||
+                partner[jnc.to] != graph::kInvalidNode)
+              continue;
+            const std::uint64_t theirs = priority(seed_, jnc.edge, r);
+            if (theirs > mine || (theirs == mine && jnc.edge > inc.edge))
+              return false;
+          }
+          return true;
+        };
+        if (!beats_competitors(u) || !beats_competitors(v)) wins = false;
+        if (wins) winners.emplace_back(u, v);
+      }
+    }
+    for (const auto& [u, v] : winners) {
+      partner[u] = v;
+      partner[v] = u;
+    }
+  }
+  return partner[ball.center] == graph::kInvalidNode
+             ? 0
+             : static_cast<std::uint64_t>(partner[ball.center]) + 1;
+}
+
+}  // namespace fl::localsim

@@ -1,0 +1,27 @@
+#include "localsim/local_algorithm.hpp"
+
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+
+namespace fl::localsim {
+
+BallView make_ball(const graph::Graph& g, graph::NodeId center,
+                   unsigned radius) {
+  BallView ball;
+  ball.g = &g;
+  ball.center = center;
+  ball.radius = radius;
+  ball.dist = graph::bfs_distances_bounded(g, center, radius);
+  return ball;
+}
+
+std::vector<std::uint64_t> run_reference(const graph::Graph& g,
+                                         const LocalAlgorithm& alg) {
+  const unsigned t = alg.radius(g);
+  std::vector<std::uint64_t> out(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    out[v] = alg.compute(make_ball(g, v, t));
+  return out;
+}
+
+}  // namespace fl::localsim

@@ -1,0 +1,130 @@
+#include "localsim/tlocal_broadcast.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/network.hpp"
+#include "util/assert.hpp"
+
+namespace fl::localsim {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+struct MsgOrigins {
+  std::shared_ptr<const std::vector<NodeId>> origins;
+};
+
+/// Per-node flooding program over a fixed incident edge subset. Each round
+/// a node bundles everything it learned last round into one message per
+/// subset edge — the LOCAL-model accounting of Lemma 12.
+class FloodNode final : public sim::NodeProgram {
+ public:
+  FloodNode(NodeId self, std::shared_ptr<const std::vector<bool>> edge_in,
+            unsigned rounds, NodeId n)
+      : self_(self), edge_in_(std::move(edge_in)), rounds_(rounds), n_(n) {}
+
+  std::vector<NodeId> known_sorted() const {
+    std::vector<NodeId> out(known_.begin(), known_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void on_start(sim::Context& ctx) override {
+    known_.push_back(self_);
+    seen_.assign(n_, false);
+    seen_[self_] = true;
+    if (rounds_ == 0) {
+      finished_ = true;
+      return;
+    }
+    auto batch = std::make_shared<const std::vector<NodeId>>(known_);
+    send_over_subset(ctx, batch);
+  }
+
+  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+    if (finished_) return;
+    std::vector<NodeId> fresh;
+    for (const auto& m : inbox) {
+      const auto& o = sim::payload_as<MsgOrigins>(m);
+      for (const NodeId id : *o.origins) {
+        if (!seen_[id]) {
+          seen_[id] = true;
+          fresh.push_back(id);
+          known_.push_back(id);
+        }
+      }
+    }
+    ++send_round_;
+    if (send_round_ >= rounds_) {
+      finished_ = true;
+      return;
+    }
+    if (!fresh.empty()) {
+      auto batch =
+          std::make_shared<const std::vector<NodeId>>(std::move(fresh));
+      send_over_subset(ctx, batch);
+    }
+  }
+
+  bool done() const override { return finished_; }
+
+  sim::Knowledge required_knowledge() const override {
+    return sim::Knowledge::EdgeIds;
+  }
+
+ private:
+  void send_over_subset(sim::Context& ctx,
+                        const std::shared_ptr<const std::vector<NodeId>>& batch) {
+    for (const EdgeId e : ctx.incident_edges()) {
+      if (!(*edge_in_)[e]) continue;
+      ctx.send(e, MsgOrigins{batch},
+               static_cast<std::uint32_t>(batch->size()));
+    }
+  }
+
+  NodeId self_;
+  std::shared_ptr<const std::vector<bool>> edge_in_;
+  unsigned rounds_;
+  NodeId n_;
+  unsigned send_round_ = 0;
+  bool finished_ = false;
+  std::vector<NodeId> known_;
+  std::vector<bool> seen_;
+};
+
+}  // namespace
+
+std::vector<EdgeId> all_edges(const Graph& g) {
+  std::vector<EdgeId> out(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) out[e] = e;
+  return out;
+}
+
+BroadcastRun run_tlocal_broadcast(const Graph& g,
+                                  const std::vector<EdgeId>& edges,
+                                  unsigned rounds, std::uint64_t seed) {
+  auto edge_in = std::make_shared<std::vector<bool>>(g.num_edges(), false);
+  for (const EdgeId e : edges) {
+    FL_REQUIRE(e < g.num_edges(), "broadcast edge id out of range");
+    (*edge_in)[e] = true;
+  }
+  sim::Network net(g, sim::Knowledge::EdgeIds, seed);
+  net.install([&](NodeId v) {
+    return std::make_unique<FloodNode>(v, edge_in, rounds, g.num_nodes());
+  });
+
+  BroadcastRun run;
+  run.stats = net.run(static_cast<std::size_t>(rounds) + 4);
+  FL_REQUIRE(run.stats.terminated, "broadcast did not terminate");
+  run.metrics = net.metrics();
+  run.reached.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    run.reached.push_back(net.program_as<FloodNode>(v).known_sorted());
+  return run;
+}
+
+}  // namespace fl::localsim

@@ -1,0 +1,37 @@
+// t-local broadcast (paper Section 6, Lemma 12).
+//
+// Task: every node v must deliver its message M_v to all nodes of
+// B_{G,t}(v). Implementation: bundled flooding for R rounds over a subgraph
+// H = (V, S): each round, every node packs all origins it learned last
+// round into ONE message per incident H-edge. Because LOCAL does not bound
+// message size, the message count is at most 2|S| per round, i.e.
+// O(R · |S|) total — with H an α-spanner and R = αt this is the
+// Õ(t · n^{1+ε}) of Lemma 12; with H = G and R = t it is the Θ(t·m)
+// baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+
+namespace fl::localsim {
+
+struct BroadcastRun {
+  /// reached[v] = origins known to v after the run (ascending node ids).
+  std::vector<std::vector<graph::NodeId>> reached;
+  sim::RunStats stats;
+  sim::Metrics metrics;
+};
+
+/// Flood origin ids for `rounds` rounds over the subgraph given by `edges`
+/// (pass all edge ids for G itself). Every node is an origin.
+BroadcastRun run_tlocal_broadcast(const graph::Graph& g,
+                                  const std::vector<graph::EdgeId>& edges,
+                                  unsigned rounds, std::uint64_t seed);
+
+/// Convenience: all edges of g (the native Θ(t·m) variant).
+std::vector<graph::EdgeId> all_edges(const graph::Graph& g);
+
+}  // namespace fl::localsim

@@ -1,0 +1,33 @@
+// Messages exchanged over the simulated LOCAL network.
+//
+// The LOCAL model places no bound on message size, so payloads are
+// type-erased (std::any): each protocol defines its own payload structs and
+// the simulator only meters *counts* (the paper's message complexity is a
+// count). An optional `size_hint_words` lets protocols self-report logical
+// size so CONGEST-style comparisons remain possible.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "graph/ids.hpp"
+
+namespace fl::sim {
+
+struct Message {
+  graph::EdgeId edge = graph::kInvalidEdge;  ///< physical edge travelled
+  graph::NodeId from = graph::kInvalidNode;  ///< filled in by the network
+  graph::NodeId to = graph::kInvalidNode;    ///< filled in by the network
+  std::any payload;
+  std::uint32_t size_hint_words = 1;         ///< logical size (words)
+};
+
+/// Convenience accessor with a sharp error message on type mismatch.
+template <typename T>
+const T& payload_as(const Message& m) {
+  const T* p = std::any_cast<T>(&m.payload);
+  if (p == nullptr) throw std::bad_any_cast();
+  return *p;
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,44 @@
+// Message/round accounting — the quantities Theorems 2, 3 and 11 bound.
+//
+// The network updates these counters as it routes; protocols never touch
+// them. `messages_total` counts every Message object delivered (the paper's
+// message complexity); `words_total` additionally weights by the protocol's
+// size hints for CONGEST-flavoured comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ids.hpp"
+
+namespace fl::sim {
+
+struct Metrics {
+  std::size_t rounds = 0;
+  std::uint64_t messages_total = 0;
+  std::uint64_t words_total = 0;
+  std::vector<std::uint64_t> messages_per_round;
+  std::vector<std::uint64_t> messages_per_node;  ///< sent, indexed by node
+
+  std::uint64_t max_messages_in_a_round() const {
+    std::uint64_t best = 0;
+    for (const auto v : messages_per_round)
+      if (v > best) best = v;
+    return best;
+  }
+
+  double avg_messages_per_round() const {
+    if (messages_per_round.empty()) return 0.0;
+    return static_cast<double>(messages_total) /
+           static_cast<double>(messages_per_round.size());
+  }
+};
+
+/// Result of Network::run().
+struct RunStats {
+  bool terminated = false;  ///< all programs done and no in-flight messages
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+}  // namespace fl::sim

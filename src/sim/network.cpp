@@ -1,0 +1,205 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace fl::sim {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+// ---------------------------------------------------------------- Context
+
+Context::Context(Network& net, NodeId self) : net_(&net), self_(self) {}
+
+std::size_t Context::degree() const {
+  return net_->graph().degree(self_);
+}
+
+std::span<const EdgeId> Context::incident_edges() const {
+  FL_REQUIRE(net_->knowledge() != Knowledge::KT0,
+             "incident edge IDs are not available under KT0");
+  return net_->incident_edges_[self_];
+}
+
+EdgeId Context::edge_at_port(std::size_t port) const {
+  const auto& edges = net_->incident_edges_[self_];
+  FL_REQUIRE(port < edges.size(), "port out of range");
+  return edges[port];
+}
+
+NodeId Context::neighbor(EdgeId edge) const {
+  FL_REQUIRE(net_->knowledge() == Knowledge::KT1,
+             "neighbour IDs are only available under KT1");
+  return net_->graph().other_endpoint(edge, self_);
+}
+
+void Context::send(EdgeId edge, std::any payload,
+                   std::uint32_t size_hint_words) {
+  net_->enqueue(self_, edge, std::move(payload), size_hint_words);
+}
+
+std::size_t Context::round() const { return net_->round(); }
+
+double Context::log_n_bound() const { return net_->log_n_bound(); }
+
+double Context::n_bound() const {
+  return std::exp2(net_->log_n_bound());
+}
+
+util::Xoshiro256& Context::rng() { return net_->node_rngs_[self_]; }
+
+// ---------------------------------------------------------------- Network
+
+Network::Network(const graph::Graph& graph, Knowledge knowledge,
+                 std::uint64_t seed)
+    : graph_(&graph), knowledge_(knowledge), streams_(seed) {
+  const NodeId n = graph.num_nodes();
+  FL_REQUIRE(n >= 1, "network needs at least one node");
+  log_n_bound_ = std::log2(std::max<double>(2.0, n));
+
+  incident_edges_.resize(n);
+  node_rngs_.reserve(n);
+  inbox_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto inc = graph.incident(v);
+    incident_edges_[v].reserve(inc.size());
+    for (const auto& i : inc) incident_edges_[v].push_back(i.edge);
+    node_rngs_.push_back(streams_.node_stream(v));
+  }
+  metrics_.messages_per_node.assign(n, 0);
+}
+
+void Network::set_log_n_bound(double bound) {
+  FL_REQUIRE(bound >= std::log2(std::max<double>(2.0, graph_->num_nodes())),
+             "log n bound must be an upper bound");
+  log_n_bound_ = bound;
+}
+
+void Network::install(
+    const std::function<std::unique_ptr<NodeProgram>(NodeId)>& factory) {
+  FL_REQUIRE(!started_, "cannot install programs after the run started");
+  const NodeId n = graph_->num_nodes();
+  programs_.clear();
+  programs_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto p = factory(v);
+    FL_REQUIRE(p != nullptr, "program factory returned null");
+    FL_REQUIRE(static_cast<int>(p->required_knowledge()) <=
+                   static_cast<int>(knowledge_),
+               "program requires more knowledge than the network provides");
+    programs_.push_back(std::move(p));
+  }
+}
+
+void Network::enqueue(NodeId from, EdgeId edge, std::any payload,
+                      std::uint32_t size_hint_words) {
+  FL_REQUIRE(edge < graph_->num_edges(), "send over unknown edge");
+  const auto ep = graph_->endpoints(edge);
+  FL_REQUIRE(ep.u == from || ep.v == from,
+             "a node may only send over its incident edges");
+  Message m;
+  m.edge = edge;
+  m.from = from;
+  m.to = (ep.u == from) ? ep.v : ep.u;
+  m.payload = std::move(payload);
+  m.size_hint_words = size_hint_words;
+  outbox_.push_back(std::move(m));
+}
+
+void Network::deliver_and_advance() {
+  // Account, then move each message into its destination inbox for the
+  // next round.
+  std::uint64_t count = 0;
+  for (auto& m : outbox_) {
+    ++count;
+    metrics_.words_total += m.size_hint_words;
+    ++metrics_.messages_per_node[m.from];
+    inbox_[m.to].push_back(std::move(m));
+  }
+  metrics_.messages_total += count;
+  metrics_.messages_per_round.push_back(count);
+  outbox_.clear();
+  ++round_;
+  metrics_.rounds = round_;
+}
+
+bool Network::all_done() const {
+  for (const auto& p : programs_)
+    if (!p->done()) return false;
+  return true;
+}
+
+RunStats Network::run(std::size_t max_rounds) {
+  FL_REQUIRE(!programs_.empty(), "install programs before running");
+  const NodeId n = graph_->num_nodes();
+
+  if (!started_) {
+    started_ = true;
+    for (NodeId v = 0; v < n; ++v) {
+      Context ctx(*this, v);
+      programs_[v]->on_start(ctx);
+    }
+    deliver_and_advance();
+  }
+
+  RunStats stats;
+  while (round_ <= max_rounds) {
+    bool any_inbox = false;
+    for (const auto& box : inbox_)
+      if (!box.empty()) {
+        any_inbox = true;
+        break;
+      }
+    if (!any_inbox && all_done()) {
+      stats.terminated = true;
+      break;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      Context ctx(*this, v);
+      programs_[v]->on_round(ctx, inbox_[v]);
+      inbox_[v].clear();
+    }
+    deliver_and_advance();
+  }
+  stats.rounds = round_;
+  stats.messages = metrics_.messages_total;
+  return stats;
+}
+
+void Network::step(std::size_t rounds) {
+  FL_REQUIRE(!programs_.empty(), "install programs before running");
+  const NodeId n = graph_->num_nodes();
+  if (!started_) {
+    started_ = true;
+    for (NodeId v = 0; v < n; ++v) {
+      Context ctx(*this, v);
+      programs_[v]->on_start(ctx);
+    }
+    deliver_and_advance();
+    if (rounds > 0) --rounds;
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      Context ctx(*this, v);
+      programs_[v]->on_round(ctx, inbox_[v]);
+      inbox_[v].clear();
+    }
+    deliver_and_advance();
+  }
+}
+
+NodeProgram& Network::program(NodeId v) {
+  FL_REQUIRE(v < programs_.size(), "node id out of range");
+  return *programs_[v];
+}
+
+const NodeProgram& Network::program(NodeId v) const {
+  FL_REQUIRE(v < programs_.size(), "node id out of range");
+  return *programs_[v];
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,93 @@
+// The synchronous LOCAL-model network simulator.
+//
+// Faithful to the fully synchronous LOCAL model of [Linial 92; Peleg 00]:
+// computation proceeds in lockstep rounds; a message sent in round r is
+// delivered at the start of round r+1; message size is unbounded; local
+// computation is free. The simulator meters rounds and message counts —
+// the two complexities the paper's theorems bound — and enforces the
+// declared knowledge level (KT0 / unique-edge-IDs / KT1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+
+namespace fl::sim {
+
+class Network {
+ public:
+  /// `graph` must outlive the network. `knowledge` is what nodes may query;
+  /// installing a program that requires more is a contract violation.
+  Network(const graph::Graph& graph, Knowledge knowledge, std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Install one program per node from a factory.
+  void install(
+      const std::function<std::unique_ptr<NodeProgram>(graph::NodeId)>& factory);
+
+  /// Typed convenience: installs P(node_id, args...) on every node.
+  template <typename P, typename... Args>
+  void install_all(Args&&... args) {
+    install([&](graph::NodeId v) {
+      return std::make_unique<P>(v, args...);
+    });
+  }
+
+  /// Run until global termination or `max_rounds`, whichever first.
+  RunStats run(std::size_t max_rounds);
+
+  /// Run exactly `rounds` more rounds (no termination check) — used by
+  /// layered protocols that interleave phases.
+  void step(std::size_t rounds);
+
+  const graph::Graph& graph() const { return *graph_; }
+  Knowledge knowledge() const { return knowledge_; }
+  const Metrics& metrics() const { return metrics_; }
+  std::size_t round() const { return round_; }
+  double log_n_bound() const { return log_n_bound_; }
+
+  /// Override the advertised log n bound (tests exercise the approximation
+  /// slack the model allows).
+  void set_log_n_bound(double bound);
+
+  NodeProgram& program(graph::NodeId v);
+  const NodeProgram& program(graph::NodeId v) const;
+
+  /// Typed accessor for result extraction after a run.
+  template <typename P>
+  P& program_as(graph::NodeId v) {
+    return dynamic_cast<P&>(program(v));
+  }
+
+ private:
+  friend class Context;
+
+  void enqueue(graph::NodeId from, graph::EdgeId edge, std::any payload,
+               std::uint32_t size_hint_words);
+  void deliver_and_advance();
+  bool all_done() const;
+
+  const graph::Graph* graph_;
+  Knowledge knowledge_;
+  util::StreamFactory streams_;
+  double log_n_bound_;
+
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<util::Xoshiro256> node_rngs_;
+  std::vector<std::vector<graph::EdgeId>> incident_edges_;  // per node
+
+  std::vector<std::vector<Message>> inbox_;    // delivered this round
+  std::vector<Message> outbox_;                // sent this round
+  std::size_t round_ = 0;
+  bool started_ = false;
+  Metrics metrics_;
+};
+
+}  // namespace fl::sim

@@ -1,0 +1,93 @@
+// Node-program interface for the synchronous LOCAL simulator.
+//
+// A protocol is a class derived from NodeProgram, instantiated once per
+// node. Each round the network calls on_round() with the node's inbox; the
+// program reacts and sends messages through the Context. The model
+// assumptions of the paper (Section 1.1) are encoded in Context:
+//   * nodes know an O(1)-approximate upper bound on log n  -> log_n_bound();
+//   * unique edge IDs known to both endpoints              -> incident_edges();
+//   * (optionally, KT1) neighbour IDs                      -> neighbor() —
+//     only legal when the network was built with Knowledge::KT1.
+// Nodes have NO other a-priori topology knowledge; programs must not touch
+// the Graph directly (the simulator owns it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/ids.hpp"
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace fl::sim {
+
+/// How much a node initially knows about its incident edges.
+enum class Knowledge {
+  KT0,      ///< degree + local port numbers only
+  EdgeIds,  ///< the paper's model: unique edge IDs, known at both endpoints
+  KT1,      ///< edge IDs + the ID of the other endpoint of every edge
+};
+
+class Network;
+
+/// Per-node view of the network handed to programs each round.
+class Context {
+ public:
+  Context(Network& net, graph::NodeId self);
+
+  graph::NodeId self() const { return self_; }
+  std::size_t degree() const;
+
+  /// Unique IDs of this node's incident edges (requires EdgeIds or KT1).
+  std::span<const graph::EdgeId> incident_edges() const;
+
+  /// Edge id of the port-th incident edge (any knowledge level; ports are
+  /// the node's private local numbering 0..deg-1).
+  graph::EdgeId edge_at_port(std::size_t port) const;
+
+  /// ID of the other endpoint of `edge` (requires KT1).
+  graph::NodeId neighbor(graph::EdgeId edge) const;
+
+  /// Send `payload` over `edge` this round; delivered next round.
+  void send(graph::EdgeId edge, std::any payload,
+            std::uint32_t size_hint_words = 1);
+
+  /// Current round number (0-based).
+  std::size_t round() const;
+
+  /// The promised O(1)-approximate upper bound on log2 n.
+  double log_n_bound() const;
+
+  /// Poly(n) upper bound on n implied by log_n_bound().
+  double n_bound() const;
+
+  /// This node's private random stream (deterministic per run seed).
+  util::Xoshiro256& rng();
+
+ private:
+  Network* net_;
+  graph::NodeId self_;
+};
+
+/// Base class for protocols. One instance per node.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once, before the first round. May send messages.
+  virtual void on_start(Context& ctx) = 0;
+
+  /// Called once per round with all messages delivered this round.
+  virtual void on_round(Context& ctx, std::span<const Message> inbox) = 0;
+
+  /// A network halts when every program reports done() and no messages are
+  /// in flight. Programs may keep receiving messages after done() turns
+  /// true (e.g. stragglers); they simply go back to not-done if needed.
+  virtual bool done() const = 0;
+
+  /// Minimum knowledge this protocol needs; the network enforces it.
+  virtual Knowledge required_knowledge() const { return Knowledge::EdgeIds; }
+};
+
+}  // namespace fl::sim

@@ -1,0 +1,60 @@
+// Lightweight contract-checking macros used across freelunch.
+//
+// FL_REQUIRE  — precondition on a public API; always active (benchmarks
+//               included) because violating it means the caller is broken
+//               and the cost is a predictable branch.
+// FL_ENSURE   — postcondition / internal invariant; active unless
+//               FL_DISABLE_INVARIANT_CHECKS is defined (used only for
+//               profiling experiments, never for shipped binaries).
+//
+// Both throw fl::util::ContractViolation rather than aborting so that tests
+// can assert on failures and the simulator can surface the offending node.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fl::util {
+
+/// Thrown when an FL_REQUIRE / FL_ENSURE contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string s(kind);
+  s += " failed: ";
+  s += expr;
+  s += " at ";
+  s += file;
+  s += ":";
+  s += std::to_string(line);
+  if (!msg.empty()) {
+    s += " — ";
+    s += msg;
+  }
+  throw ContractViolation(s);
+}
+
+}  // namespace fl::util
+
+#define FL_REQUIRE(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::fl::util::contract_fail("FL_REQUIRE", #cond, __FILE__, __LINE__,     \
+                                (msg));                                      \
+  } while (0)
+
+#ifndef FL_DISABLE_INVARIANT_CHECKS
+#define FL_ENSURE(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::fl::util::contract_fail("FL_ENSURE", #cond, __FILE__, __LINE__,      \
+                                (msg));                                      \
+  } while (0)
+#else
+#define FL_ENSURE(cond, msg) ((void)0)
+#endif

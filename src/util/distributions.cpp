@@ -1,0 +1,40 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fl::util {
+
+std::uint64_t binomial_draw(std::uint64_t t, double p, Xoshiro256& rng) {
+  if (t == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return t;
+  const double mean = static_cast<double>(t) * p;
+  if (t <= 256) {
+    std::uint64_t count = 0;
+    for (std::uint64_t i = 0; i < t; ++i)
+      if (rng.bernoulli(p)) ++count;
+    return count;
+  }
+  if (mean < 32.0) {
+    // Poisson via Knuth (p is small here since t > 256 and mean < 32).
+    const double limit = std::exp(-mean);
+    double prod = rng.uniform01();
+    std::uint64_t count = 0;
+    while (prod > limit) {
+      ++count;
+      prod *= rng.uniform01();
+    }
+    return std::min(count, t);
+  }
+  // Normal approximation with continuity correction (Box–Muller).
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double u1 = std::max(rng.uniform01(), 1e-12);
+  const double u2 = rng.uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double v = std::round(mean + sd * z);
+  if (v <= 0.0) return 0;
+  return std::min(t, static_cast<std::uint64_t>(v));
+}
+
+}  // namespace fl::util

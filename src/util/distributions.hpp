@@ -1,0 +1,23 @@
+// Distribution samplers shared by the distributed protocols.
+//
+// The distributed Sampler realizes a global uniform-with-replacement draw
+// over a cluster's edge pool by per-member binomial splits (each member of
+// the cluster draws Binomial(T, own/total)); this file provides the
+// deterministic binomial sampler those splits use. Exactness matters in the
+// small-T regime (tests rely on Binomial(T, 1) == T at level 0), while for
+// large T the Poisson / normal approximations introduce error far below the
+// algorithm's own randomness.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace fl::util {
+
+/// Draw Binomial(t, p) from `rng`. Exact Bernoulli summation for t <= 256;
+/// Knuth-Poisson for small means (p is then provably small); otherwise a
+/// normal approximation with continuity correction, clamped to [0, t].
+std::uint64_t binomial_draw(std::uint64_t t, double p, Xoshiro256& rng);
+
+}  // namespace fl::util

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// The simulator and the distributed Sampler can emit per-round traces; the
+// default level is Warn so tests and benches stay quiet. Examples raise the
+// level to Info/Debug to narrate executions (Figure 1 reproduction).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fl::util {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are dropped. Not thread-safe by
+/// design — freelunch is single-threaded (the LOCAL simulator serializes
+/// rounds), so a plain global keeps the hot path free of atomics.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (appends '\n') to stderr if `level` passes the filter.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogStream(LogLevel l) : level(l) {}
+  ~LogStream() { log_line(level, os.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace fl::util
+
+// Usage: FL_LOG(Info) << "constructed spanner with " << m << " edges";
+#define FL_LOG(lvl) \
+  ::fl::util::detail::LogStream(::fl::util::LogLevel::lvl)

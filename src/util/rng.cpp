@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace fl::util {
+
+std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                    std::size_t k,
+                                                    Xoshiro256& rng) {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Classic reservoir sampling: O(n) time, O(k) extra space.
+  std::vector<std::size_t> reservoir(k);
+  for (std::size_t i = 0; i < k; ++i) reservoir[i] = i;
+  for (std::size_t i = k; i < n; ++i) {
+    const std::size_t j = rng.index(i + 1);
+    if (j < k) reservoir[j] = i;
+  }
+  std::sort(reservoir.begin(), reservoir.end());
+  return reservoir;
+}
+
+}  // namespace fl::util

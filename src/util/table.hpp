@@ -1,0 +1,57 @@
+// Aligned ASCII tables and CSV output for the benchmark harness.
+//
+// Every experiment binary prints a table whose rows mirror the paper's
+// predicted-vs-measured quantities; the same table can be dumped as CSV for
+// downstream plotting. Cells are stored as strings so heterogeneous rows
+// (counts, ratios, fitted exponents) coexist.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fl::util {
+
+class Table {
+ public:
+  /// Construct with column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: build a row from streamable values.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    add_row({to_cell(vals)...});
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Render with column alignment, header underline and optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void print_csv(std::ostream& os) const;
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(std::size_t v);
+  static std::string to_cell(long v);
+  static std::string to_cell(int v);
+  static std::string to_cell(unsigned v);
+  static std::string to_cell(long long v);
+  static std::string to_cell(unsigned long long v);
+  static std::string to_cell(bool v) { return v ? "yes" : "no"; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.2345" style fixed formatting with `digits` decimals.
+std::string fixed(double v, int digits = 3);
+
+}  // namespace fl::util

@@ -1,0 +1,109 @@
+// Tests for SamplerConfig: the paper's parameter arithmetic (δ, ε, p_j,
+// budgets, trial sizes, stretch bound) and validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/config.hpp"
+#include "util/assert.hpp"
+
+namespace fl::core {
+namespace {
+
+TEST(Config, DeltaMatchesFormula) {
+  for (unsigned k = 1; k <= 5; ++k) {
+    SamplerConfig cfg = SamplerConfig::bench_profile(k, 2, 1);
+    EXPECT_DOUBLE_EQ(cfg.delta(),
+                     1.0 / (std::exp2(static_cast<double>(k) + 1) - 1.0));
+  }
+  // Paper's headline example: k=2 -> delta = 1/7.
+  EXPECT_DOUBLE_EQ(SamplerConfig::bench_profile(2, 2, 1).delta(), 1.0 / 7.0);
+}
+
+TEST(Config, EpsilonIsOneOverH) {
+  for (unsigned h = 1; h <= 8; ++h)
+    EXPECT_DOUBLE_EQ(SamplerConfig::bench_profile(2, h, 1).epsilon(),
+                     1.0 / h);
+}
+
+TEST(Config, StretchBoundIsTwoTimesPow3Minus1) {
+  EXPECT_DOUBLE_EQ(SamplerConfig::bench_profile(1, 2, 1).stretch_bound(), 5.0);
+  EXPECT_DOUBLE_EQ(SamplerConfig::bench_profile(2, 2, 1).stretch_bound(), 17.0);
+  EXPECT_DOUBLE_EQ(SamplerConfig::bench_profile(3, 2, 1).stretch_bound(), 53.0);
+}
+
+TEST(Config, Pow3) {
+  EXPECT_DOUBLE_EQ(SamplerConfig::pow3(0), 1.0);
+  EXPECT_DOUBLE_EQ(SamplerConfig::pow3(4), 81.0);
+}
+
+TEST(Config, CenterProbabilityDecreasing) {
+  const SamplerConfig cfg = SamplerConfig::paper_faithful(3, 3, 1);
+  const double n = 4096;
+  double prev = 1.0;
+  for (unsigned j = 0; j < 3; ++j) {
+    const double p = cfg.center_prob(n, j);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, prev);
+    // p_j = n^{-2^j δ}.
+    EXPECT_NEAR(p, std::pow(n, -std::exp2(static_cast<double>(j)) * cfg.delta()),
+                1e-12);
+    prev = p;
+  }
+}
+
+TEST(Config, BudgetAndTrialSizeGrowWithLevel) {
+  const SamplerConfig cfg = SamplerConfig::paper_faithful(3, 3, 1);
+  const double n = 4096;
+  for (unsigned j = 0; j + 1 < 3; ++j) {
+    EXPECT_LT(cfg.budget(n, j), cfg.budget(n, j + 1));
+    EXPECT_LT(cfg.trial_size(n, j), cfg.trial_size(n, j + 1));
+    // Trials always oversample the budget by the n^ε·log² factor.
+    EXPECT_GT(cfg.trial_size(n, j), cfg.budget(n, j));
+  }
+}
+
+TEST(Config, PaperProfileUsesLogCubed) {
+  const double n = 1024;  // log2 n = 10
+  const auto paper = SamplerConfig::paper_faithful(2, 2, 1);
+  const auto bench = SamplerConfig::bench_profile(2, 2, 1);
+  // Same exponents, different polylog: paper trial size ~log³, bench ~log.
+  const double ratio =
+      static_cast<double>(paper.trial_size(n, 0)) /
+      static_cast<double>(bench.trial_size(n, 0));
+  // c_paper²/c_bench² = 4, log² = 100 -> ratio ≈ 400.
+  EXPECT_NEAR(ratio, 400.0, 40.0);
+}
+
+TEST(Config, TrialsPerLevelIsTwoH) {
+  EXPECT_EQ(SamplerConfig::bench_profile(2, 5, 1).trials_per_level(), 10u);
+}
+
+TEST(Config, MessageAndSizeExponents) {
+  const auto cfg = SamplerConfig::bench_profile(2, 4, 1);
+  EXPECT_DOUBLE_EQ(cfg.size_exponent(), 1.0 + 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(cfg.message_exponent(), 1.0 + 1.0 / 7.0 + 0.25);
+}
+
+TEST(Config, ValidationRejectsOutOfRange) {
+  SamplerConfig cfg = SamplerConfig::bench_profile(2, 2, 1);
+  EXPECT_NO_THROW(cfg.validate(1024));
+  EXPECT_THROW(cfg.validate(1), util::ContractViolation);
+  cfg.k = 0;
+  EXPECT_THROW(cfg.validate(1024), util::ContractViolation);
+  cfg = SamplerConfig::bench_profile(2, 2, 1);
+  cfg.c = 0.0;
+  EXPECT_THROW(cfg.validate(1024), util::ContractViolation);
+  cfg = SamplerConfig::bench_profile(9, 2, 1);  // k >> log log n
+  EXPECT_THROW(cfg.validate(1024), util::ContractViolation);
+}
+
+TEST(Config, DescribeMentionsParameters) {
+  const auto cfg = SamplerConfig::bench_profile(2, 3, 1);
+  const std::string s = cfg.describe();
+  EXPECT_NE(s.find("k=2"), std::string::npos);
+  EXPECT_NE(s.find("h=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fl::core

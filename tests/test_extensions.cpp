@@ -1,0 +1,188 @@
+// Tests for the extension surface: the shared binomial sampler, the
+// multigraph-input Sampler (paper Section 1.2's parallel-edge remark), and
+// the maximal-matching payload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/config.hpp"
+#include "core/sampler.hpp"
+#include "graph/generators.hpp"
+#include "graph/multigraph.hpp"
+#include "graph/spanner_check.hpp"
+#include "localsim/algorithms.hpp"
+#include "localsim/transformer.hpp"
+#include "util/distributions.hpp"
+#include "util/stats.hpp"
+#include "util/rng.hpp"
+
+namespace fl {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::Multigraph;
+using graph::NodeId;
+
+// ------------------------------------------------------------ binomial_draw
+
+TEST(BinomialDraw, EdgeCases) {
+  util::Xoshiro256 rng(3);
+  EXPECT_EQ(util::binomial_draw(0, 0.5, rng), 0u);
+  EXPECT_EQ(util::binomial_draw(100, 0.0, rng), 0u);
+  EXPECT_EQ(util::binomial_draw(100, 1.0, rng), 100u);
+  EXPECT_EQ(util::binomial_draw(1000000, 1.0, rng), 1000000u);
+}
+
+TEST(BinomialDraw, SmallTExactRegimeMoments) {
+  util::Xoshiro256 rng(5);
+  const std::uint64_t t = 100;
+  const double p = 0.3;
+  util::Accumulator acc;
+  for (int i = 0; i < 20000; ++i)
+    acc.add(static_cast<double>(util::binomial_draw(t, p, rng)));
+  EXPECT_NEAR(acc.mean(), t * p, 0.5);
+  EXPECT_NEAR(acc.variance(), t * p * (1 - p), 2.0);
+}
+
+TEST(BinomialDraw, PoissonRegimeMoments) {
+  // t > 256, mean < 32 -> Poisson path.
+  util::Xoshiro256 rng(7);
+  const std::uint64_t t = 10000;
+  const double p = 0.001;  // mean 10
+  util::Accumulator acc;
+  for (int i = 0; i < 20000; ++i)
+    acc.add(static_cast<double>(util::binomial_draw(t, p, rng)));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.3);
+  EXPECT_NEAR(acc.variance(), 10.0, 1.0);
+}
+
+TEST(BinomialDraw, NormalRegimeMoments) {
+  // t > 256, mean >= 32 -> normal approximation path.
+  util::Xoshiro256 rng(11);
+  const std::uint64_t t = 100000;
+  const double p = 0.002;  // mean 200
+  util::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    const auto d = util::binomial_draw(t, p, rng);
+    EXPECT_LE(d, t);
+    acc.add(static_cast<double>(d));
+  }
+  EXPECT_NEAR(acc.mean(), 200.0, 2.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(200.0 * 0.998), 1.0);
+}
+
+// ------------------------------------------------ multigraph-input Sampler
+
+/// Duplicate every edge of g `mult` times with fresh physical ids.
+Multigraph replicate_edges(const Graph& g, unsigned mult) {
+  std::vector<Multigraph::MEdge> edges;
+  EdgeId next_id = 0;
+  for (const auto& e : g.edges())
+    for (unsigned i = 0; i < mult; ++i)
+      edges.push_back({e.u, e.v, next_id++});
+  return Multigraph(g.num_nodes(), std::move(edges));
+}
+
+TEST(MultigraphSampler, ParallelEdgeInputSupported) {
+  // Paper Section 1.2: with unique edge IDs the algorithm applies to
+  // graphs with parallel edges. Triplicate every edge; the spanner must
+  // still certify the stretch bound on the underlying simple graph.
+  util::Xoshiro256 rng(13);
+  const Graph g = graph::erdos_renyi_gnm(200, 1400, rng);
+  const unsigned mult = 3;
+  const Multigraph mg = replicate_edges(g, mult);
+  const auto cfg = core::SamplerConfig::paper_faithful(2, 2, 17);
+  const auto res =
+      core::build_spanner_multigraph(mg, cfg, mg.num_edges());
+
+  // Map selected physical ids back to simple-graph edges.
+  std::vector<bool> covered(g.num_edges(), false);
+  for (const EdgeId phys : res.edges) covered[phys / mult] = true;
+  std::vector<EdgeId> projected;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (covered[e]) projected.push_back(e);
+
+  const auto rep =
+      graph::check_spanner_exact(g, projected, cfg.stretch_bound());
+  EXPECT_TRUE(rep.connected);
+  EXPECT_EQ(rep.violations, 0u);
+}
+
+TEST(MultigraphSampler, MatchesSimplePathThroughFromGraph) {
+  util::Xoshiro256 rng(19);
+  const Graph g = graph::erdos_renyi_gnm(150, 900, rng);
+  const auto cfg = core::SamplerConfig::paper_faithful(2, 2, 23);
+  const auto via_graph = core::build_spanner(g, cfg);
+  const auto via_multi = core::build_spanner_multigraph(
+      Multigraph::from_graph(g), cfg, g.num_edges());
+  EXPECT_EQ(via_graph.edges, via_multi.edges);
+}
+
+TEST(MultigraphSampler, RejectsOutOfRangePhysicalIds) {
+  std::vector<Multigraph::MEdge> edges{{0, 1, 7}};
+  const Multigraph mg(2, std::move(edges));
+  const auto cfg = core::SamplerConfig::paper_faithful(1, 1, 29);
+  EXPECT_THROW(core::build_spanner_multigraph(mg, cfg, 3),
+               util::ContractViolation);
+}
+
+TEST(MultigraphSampler, HeavyMultiplicitySkewHandled) {
+  // A star whose first spoke is duplicated 100x: the iterative peeling must
+  // still find all the singleton spokes (Section 1.3's bias scenario) —
+  // the hub ends light and the projected spanner keeps every spoke.
+  const NodeId leaves = 20;
+  std::vector<Multigraph::MEdge> edges;
+  EdgeId id = 0;
+  for (unsigned i = 0; i < 100; ++i) edges.push_back({0, 1, id++});
+  for (NodeId v = 2; v <= leaves; ++v) edges.push_back({0, v, id++});
+  const Multigraph mg(leaves + 1, std::move(edges));
+  const auto cfg = core::SamplerConfig::paper_faithful(1, 2, 31);
+  const auto res = core::build_spanner_multigraph(mg, cfg, mg.num_edges());
+  // Every distinct neighbour pair must be covered by some selected edge.
+  std::vector<bool> nb(leaves + 1, false);
+  for (const EdgeId phys : res.edges) {
+    const auto& me = mg.edge(phys);  // physical id == local id here
+    nb[me.v] = true;
+  }
+  for (NodeId v = 1; v <= leaves; ++v) EXPECT_TRUE(nb[v]) << "spoke " << v;
+}
+
+// ------------------------------------------------------- maximal matching
+
+TEST(MaximalMatching, OutputsAreConsistentPairs) {
+  util::Xoshiro256 rng(37);
+  const Graph g = graph::erdos_renyi_gnm(200, 800, rng);
+  const localsim::MaximalMatching alg(41);
+  const auto out = localsim::run_reference(g, alg);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (out[v] == 0) continue;
+    const auto partner = static_cast<NodeId>(out[v] - 1);
+    ASSERT_LT(partner, g.num_nodes());
+    EXPECT_TRUE(g.has_edge(v, partner)) << v;
+    EXPECT_EQ(out[partner], v + 1u) << "asymmetric match at " << v;
+  }
+}
+
+TEST(MaximalMatching, MatchingIsMaximal) {
+  util::Xoshiro256 rng(43);
+  const Graph g = graph::erdos_renyi_gnm(150, 600, rng);
+  const localsim::MaximalMatching alg(47);
+  const auto out = localsim::run_reference(g, alg);
+  // Maximality: no edge with both endpoints unmatched.
+  for (const auto& e : g.edges())
+    EXPECT_FALSE(out[e.u] == 0 && out[e.v] == 0)
+        << "unmatched edge " << e.u << "-" << e.v;
+}
+
+TEST(MaximalMatching, TransformerPreservesOutputs) {
+  util::Xoshiro256 rng(53);
+  const Graph g = graph::erdos_renyi_gnm(120, 700, rng);
+  const localsim::MaximalMatching alg(59, 5);
+  const auto cfg = core::SamplerConfig::paper_faithful(1, 2, 61);
+  const auto sim = localsim::run_simulated(g, alg, cfg);
+  EXPECT_EQ(sim.outputs, localsim::run_reference(g, alg));
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,162 @@
+// Tests for the workload generators: shape invariants, connectivity
+// patching and determinism, parameterized across the whole family list.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fl::graph {
+namespace {
+
+TEST(Generators, GnmExactEdgeCountAndConnectivity) {
+  util::Xoshiro256 rng(3);
+  const Graph g = erdos_renyi_gnm(100, 300, rng);
+  EXPECT_GE(g.num_edges(), 300u);          // patching may add a few
+  EXPECT_LE(g.num_edges(), 300u + 99u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GnmDenseRegime) {
+  util::Xoshiro256 rng(5);
+  const Graph g = erdos_renyi_gnm(40, 700, rng);  // > half of max 780
+  EXPECT_EQ(g.num_edges(), 700u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  util::Xoshiro256 rng(7);
+  const NodeId n = 300;
+  const double p = 0.1;
+  const Graph g = erdos_renyi_gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_GT(static_cast<double>(g.num_edges()), 0.8 * expected);
+  EXPECT_LT(static_cast<double>(g.num_edges()), 1.2 * expected);
+}
+
+TEST(Generators, GnpExtremes) {
+  util::Xoshiro256 rng(11);
+  const Graph empty_p = erdos_renyi_gnp(20, 0.0, rng);
+  EXPECT_TRUE(is_connected(empty_p));  // pure patching output: a tree
+  EXPECT_EQ(empty_p.num_edges(), 19u);
+  const Graph full = erdos_renyi_gnp(20, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 190u);
+}
+
+TEST(Generators, CompleteAndBipartite) {
+  const Graph k = complete(10);
+  EXPECT_EQ(k.num_edges(), 45u);
+  const Graph kb = complete_bipartite(3, 4);
+  EXPECT_EQ(kb.num_edges(), 12u);
+  EXPECT_EQ(kb.num_nodes(), 7u);
+  EXPECT_TRUE(is_connected(kb));
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = grid(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 5u * 3);  // 31
+  EXPECT_EQ(diameter_exact(g), 7u);           // (4-1)+(5-1)
+}
+
+TEST(Generators, TorusIsRegular) {
+  const Graph g = torus(4, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.num_edges(), 32u);
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = hypercube(5);
+  EXPECT_EQ(g.num_nodes(), 32u);
+  EXPECT_EQ(g.num_edges(), 80u);  // n*d/2
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 5u);
+  EXPECT_EQ(diameter_exact(g), 5u);
+}
+
+TEST(Generators, RingPathStar) {
+  EXPECT_EQ(ring(12).num_edges(), 12u);
+  EXPECT_EQ(diameter_exact(ring(12)), 6u);
+  EXPECT_EQ(path(12).num_edges(), 11u);
+  EXPECT_EQ(diameter_exact(path(12)), 11u);
+  EXPECT_EQ(star(12).num_edges(), 11u);
+  EXPECT_EQ(diameter_exact(star(12)), 2u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  util::Xoshiro256 rng(13);
+  const Graph g = random_tree(200, rng);
+  EXPECT_EQ(g.num_edges(), 199u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  util::Xoshiro256 rng(17);
+  const NodeId n = 300, attach = 3;
+  const Graph g = barabasi_albert(n, attach, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Seed clique C(4,2)=6 plus attach per added node.
+  EXPECT_EQ(g.num_edges(), 6u + (n - attach - 1) * attach);
+  EXPECT_TRUE(is_connected(g));
+  // Preferential attachment: max degree far above attach.
+  NodeId max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_GT(max_deg, 3 * attach);
+}
+
+TEST(Generators, RandomGeometricConnectedAndLocal) {
+  util::Xoshiro256 rng(19);
+  const Graph g = random_geometric(400, 0.12, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(g.num_edges(), 400u);
+}
+
+TEST(Generators, DumbbellShape) {
+  const Graph g = dumbbell(64, 4);
+  EXPECT_EQ(g.num_nodes(), 64u);
+  EXPECT_TRUE(is_connected(g));
+  // Two cliques of 30 plus a 4-node bridge: diameter well above clique's 1.
+  EXPECT_GE(diameter_exact(g), 6u);
+}
+
+TEST(Generators, LollipopShape) {
+  const Graph g = lollipop(50, 10);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_GE(diameter_exact(g), 39u);
+}
+
+TEST(Generators, EnsureConnectedIsIdempotent) {
+  util::Xoshiro256 rng(23);
+  const Graph g = complete(20);
+  const Graph g2 = ensure_connected(g, rng);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+}
+
+class FamilySweep : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilySweep, ProducesConnectedGraphOfRoughSize) {
+  util::Xoshiro256 rng(29);
+  const NodeId n = 150;
+  const Graph g = make_family(GetParam(), n, 0.0, rng);
+  EXPECT_TRUE(is_connected(g)) << family_name(GetParam());
+  EXPECT_GE(g.num_nodes(), n / 2) << family_name(GetParam());
+  EXPECT_LE(g.num_nodes(), 2 * n) << family_name(GetParam());
+}
+
+TEST_P(FamilySweep, DeterministicGivenSeed) {
+  util::Xoshiro256 rng_a(31), rng_b(31);
+  const Graph a = make_family(GetParam(), 100, 0.0, rng_a);
+  const Graph b = make_family(GetParam(), 100, 0.0, rng_b);
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << family_name(GetParam());
+  for (EdgeId e = 0; e < a.num_edges(); ++e)
+    EXPECT_EQ(a.endpoints(e), b.endpoints(e));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilySweep, ::testing::ValuesIn(all_families()),
+    [](const ::testing::TestParamInfo<Family>& info) {
+      return family_name(info.param);
+    });
+
+}  // namespace
+}  // namespace fl::graph

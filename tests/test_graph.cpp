@@ -1,0 +1,139 @@
+// Tests for the simple-graph substrate: construction, incidence, lookup,
+// unique edge IDs, I/O round-trips and contract enforcement.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "util/assert.hpp"
+
+namespace fl::graph {
+namespace {
+
+Graph triangle() {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  return std::move(b).build();
+}
+
+TEST(Graph, BasicShape) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(Graph, EdgeIdsAreStableAndShared) {
+  // The model assumption: an edge's id is the same from both endpoints.
+  const Graph g = triangle();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Endpoints ep = g.endpoints(e);
+    EXPECT_EQ(g.find_edge(ep.u, ep.v), e);
+    EXPECT_EQ(g.find_edge(ep.v, ep.u), e);
+    bool found_u = false, found_v = false;
+    for (const auto& inc : g.incident(ep.u))
+      if (inc.edge == e) found_u = true;
+    for (const auto& inc : g.incident(ep.v))
+      if (inc.edge == e) found_v = true;
+    EXPECT_TRUE(found_u && found_v);
+  }
+}
+
+TEST(Graph, EndpointsNormalized) {
+  Graph::Builder b(4);
+  b.add_edge(3, 1);
+  const Graph g = std::move(b).build();
+  const Endpoints ep = g.endpoints(0);
+  EXPECT_EQ(ep.u, 1u);
+  EXPECT_EQ(ep.v, 3u);
+}
+
+TEST(Graph, OtherEndpoint) {
+  const Graph g = triangle();
+  const EdgeId e = g.find_edge(0, 2);
+  EXPECT_EQ(g.other_endpoint(e, 0), 2u);
+  EXPECT_EQ(g.other_endpoint(e, 2), 0u);
+  EXPECT_THROW(g.other_endpoint(e, 1), util::ContractViolation);
+}
+
+TEST(Graph, IncidenceSortedByNeighbor) {
+  Graph::Builder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto inc = g.incident(2);
+  ASSERT_EQ(inc.size(), 3u);
+  EXPECT_EQ(inc[0].to, 0u);
+  EXPECT_EQ(inc[1].to, 3u);
+  EXPECT_EQ(inc[2].to, 4u);
+}
+
+TEST(Graph, HasEdgeNegative) {
+  const Graph g = triangle();
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  Graph::Builder b(4);
+  b.add_edge(0, 1);
+  const Graph g2 = std::move(b).build();
+  EXPECT_FALSE(g2.has_edge(2, 3));
+}
+
+TEST(Graph, BuilderRejectsBadEdges) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.add_edge(0, 1), util::ContractViolation);  // duplicate
+  EXPECT_THROW(b.add_edge(1, 0), util::ContractViolation);  // dup reversed
+  EXPECT_THROW(b.add_edge(1, 1), util::ContractViolation);  // self loop
+  EXPECT_THROW(b.add_edge(0, 3), util::ContractViolation);  // out of range
+}
+
+TEST(Graph, EmptyAndEdgelessGraphs) {
+  Graph::Builder b(4);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.incident(1).empty());
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const Graph g = triangle();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph back = read_edge_list(ss);
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(back.endpoints(e), g.endpoints(e));
+}
+
+TEST(GraphIo, ReadSkipsComments) {
+  std::stringstream ss("# header\nn 2\n# mid\ne 0 1\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphIo, ReadRejectsGarbage) {
+  std::stringstream no_n("e 0 1\n");
+  EXPECT_THROW(read_edge_list(no_n), util::ContractViolation);
+  std::stringstream bad_tag("n 2\nx 0 1\n");
+  EXPECT_THROW(read_edge_list(bad_tag), util::ContractViolation);
+}
+
+TEST(GraphIo, DotHighlightsSpannerEdges) {
+  const Graph g = triangle();
+  std::ostringstream os;
+  const std::vector<EdgeId> spanner{0};
+  write_dot(os, g, spanner, "T");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("graph T"), std::string::npos);
+  EXPECT_NE(s.find("crimson"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fl::graph

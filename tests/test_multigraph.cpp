@@ -1,0 +1,118 @@
+// Tests for the multigraph (cluster-graph) substrate: parallel-edge
+// bookkeeping, physical-id provenance, and contraction semantics — the
+// machinery behind the virtual graphs G_1, ..., G_k of the paper.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/multigraph.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fl::graph {
+namespace {
+
+TEST(Multigraph, FromGraphPreservesEverything) {
+  util::Xoshiro256 rng(3);
+  const Graph g = erdos_renyi_gnm(50, 200, rng);
+  const Multigraph m = Multigraph::from_graph(g);
+  EXPECT_EQ(m.num_nodes(), g.num_nodes());
+  ASSERT_EQ(m.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(m.edge(e).physical, e);
+    const Endpoints ep = g.endpoints(e);
+    EXPECT_EQ(m.edge(e).u, ep.u);
+    EXPECT_EQ(m.edge(e).v, ep.v);
+  }
+}
+
+TEST(Multigraph, ParallelEdgesCounted) {
+  std::vector<Multigraph::MEdge> edges{
+      {0, 1, 10}, {0, 1, 11}, {0, 1, 12}, {1, 2, 13}};
+  const Multigraph m(3, std::move(edges));
+  EXPECT_EQ(m.incident_count(0), 3u);
+  EXPECT_EQ(m.incident_count(1), 4u);
+  EXPECT_EQ(m.distinct_neighbor_count(1), 2u);
+  EXPECT_EQ(m.neighbors(1), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(m.edges_between(0, 1).size(), 3u);
+  EXPECT_EQ(m.edges_between(1, 2).size(), 1u);
+  EXPECT_TRUE(m.edges_between(0, 2).empty());
+}
+
+TEST(Multigraph, RejectsSelfLoopsAndBadEndpoints) {
+  EXPECT_THROW(Multigraph(2, {{0, 0, 1}}), util::ContractViolation);
+  EXPECT_THROW(Multigraph(2, {{0, 5, 1}}), util::ContractViolation);
+}
+
+TEST(Multigraph, ContractMergesAndDropsCorrectly) {
+  // 4 nodes in a path 0-1-2-3 plus chord 0-2; contract {0,1} -> cluster 0,
+  // {2} -> cluster 1, drop node 3.
+  std::vector<Multigraph::MEdge> edges{
+      {0, 1, 100}, {1, 2, 101}, {2, 3, 102}, {0, 2, 103}};
+  const Multigraph m(4, std::move(edges));
+  const std::vector<NodeId> assign{0, 0, 1, kInvalidNode};
+  const Multigraph next = m.contract(assign, 2);
+  EXPECT_EQ(next.num_nodes(), 2u);
+  // Intra edge 100 gone; edge 102 (touches dropped node) gone; edges 101
+  // and 103 survive as parallel edges between clusters 0 and 1.
+  ASSERT_EQ(next.num_edges(), 2u);
+  EXPECT_EQ(next.edges_between(0, 1).size(), 2u);
+  std::vector<EdgeId> phys{next.edge(0).physical, next.edge(1).physical};
+  std::sort(phys.begin(), phys.end());
+  EXPECT_EQ(phys, (std::vector<EdgeId>{101, 103}));
+}
+
+TEST(Multigraph, ContractToSingletonDropsEverything) {
+  const Graph g = complete(5);
+  const Multigraph m = Multigraph::from_graph(g);
+  const std::vector<NodeId> assign(5, 0);
+  const Multigraph next = m.contract(assign, 1);
+  EXPECT_EQ(next.num_nodes(), 1u);
+  EXPECT_EQ(next.num_edges(), 0u);
+}
+
+TEST(Multigraph, ContractValidatesArity) {
+  const Graph g = complete(4);
+  const Multigraph m = Multigraph::from_graph(g);
+  EXPECT_THROW(m.contract(std::vector<NodeId>{0, 0}, 1),
+               util::ContractViolation);
+  EXPECT_THROW(m.contract(std::vector<NodeId>{0, 0, 0, 9}, 1),
+               util::ContractViolation);
+}
+
+TEST(Multigraph, RepeatedContractionChainsProvenance) {
+  // Two contractions; surviving virtual edges must still carry level-0 ids.
+  util::Xoshiro256 rng(7);
+  const Graph g = erdos_renyi_gnm(40, 160, rng);
+  Multigraph m = Multigraph::from_graph(g);
+  util::Xoshiro256 coin(11);
+  for (int round = 0; round < 2; ++round) {
+    // Random partition into ~n/3 clusters, dropping ~20%.
+    const NodeId clusters = std::max<NodeId>(1, m.num_nodes() / 3);
+    std::vector<NodeId> assign(m.num_nodes());
+    for (NodeId v = 0; v < m.num_nodes(); ++v)
+      assign[v] = coin.bernoulli(0.2)
+                      ? kInvalidNode
+                      : static_cast<NodeId>(coin.index(clusters));
+    m = m.contract(assign, clusters);
+    for (EdgeId e = 0; e < m.num_edges(); ++e)
+      EXPECT_LT(m.edge(e).physical, g.num_edges());
+  }
+}
+
+TEST(Multigraph, IncidenceGroupsParallelBlocks) {
+  // The sampler peels whole parallel blocks; incidence must keep them
+  // contiguous (sorted by neighbour, then edge).
+  std::vector<Multigraph::MEdge> edges{
+      {1, 0, 5}, {1, 2, 6}, {0, 1, 7}, {1, 2, 8}, {1, 0, 9}};
+  const Multigraph m(3, std::move(edges));
+  const auto inc = m.incident(1);
+  ASSERT_EQ(inc.size(), 5u);
+  EXPECT_EQ(inc[0].to, 0u);
+  EXPECT_EQ(inc[1].to, 0u);
+  EXPECT_EQ(inc[2].to, 0u);
+  EXPECT_EQ(inc[3].to, 2u);
+  EXPECT_EQ(inc[4].to, 2u);
+}
+
+}  // namespace
+}  // namespace fl::graph

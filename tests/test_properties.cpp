@@ -1,0 +1,147 @@
+// Property-based parameterized sweeps: the paper's guarantees must hold on
+// every graph family, every hierarchy depth k and across seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/config.hpp"
+#include "core/sampler.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanner_check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fl {
+namespace {
+
+using core::SamplerConfig;
+using graph::Family;
+using graph::Graph;
+
+// ---------------------------------------------------------------- family × k
+
+using FamilyK = std::tuple<Family, unsigned>;
+
+class SpannerProperty : public ::testing::TestWithParam<FamilyK> {
+ protected:
+  Graph make() const {
+    util::Xoshiro256 rng(977);
+    return graph::make_family(std::get<0>(GetParam()), 140, 0.0, rng);
+  }
+  SamplerConfig config() const {
+    return SamplerConfig::paper_faithful(std::get<1>(GetParam()), 2, 1234);
+  }
+};
+
+TEST_P(SpannerProperty, ValidSubsetConnectedAndStretchBounded) {
+  const Graph g = make();
+  const auto cfg = config();
+  const auto res = core::build_spanner(g, cfg);
+  ASSERT_TRUE(graph::is_valid_edge_subset(g, res.edges));
+  const auto rep = graph::check_spanner_exact(g, res.edges, cfg.stretch_bound());
+  EXPECT_TRUE(rep.connected);
+  EXPECT_EQ(rep.violations, 0u)
+      << "max stretch " << rep.max_edge_stretch << " vs "
+      << cfg.stretch_bound();
+}
+
+TEST_P(SpannerProperty, HierarchyInvariants) {
+  const Graph g = make();
+  const auto cfg = config();
+  const auto res = core::build_spanner(g, cfg);
+  // Node conservation per level and monotone level shrinkage.
+  for (unsigned j = 0; j < cfg.k; ++j) {
+    const auto& lt = res.trace.levels[j];
+    EXPECT_EQ(lt.light + lt.heavy + lt.neither, lt.virtual_nodes);
+    EXPECT_EQ(lt.centers + lt.clustered + lt.unclustered, lt.virtual_nodes);
+    EXPECT_LE(res.trace.levels[j + 1].virtual_nodes, lt.virtual_nodes);
+  }
+  // The physical partition maps are consistent with the level node counts.
+  for (unsigned j = 0; j < res.trace.phys_cluster_at.size(); ++j) {
+    graph::NodeId max_cluster = 0;
+    for (const auto c : res.trace.phys_cluster_at[j])
+      if (c != graph::kInvalidNode) max_cluster = std::max(max_cluster, c);
+    EXPECT_LT(max_cluster, res.trace.levels[j].virtual_nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SpannerProperty,
+    ::testing::Combine(::testing::Values(Family::ErdosRenyi, Family::Complete,
+                                         Family::Grid, Family::Hypercube,
+                                         Family::BarabasiAlbert,
+                                         Family::RandomGeometric,
+                                         Family::Dumbbell, Family::RandomTree),
+                       ::testing::Values(1u, 2u)),
+    [](const ::testing::TestParamInfo<FamilyK>& info) {
+      return graph::family_name(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------------------- seed sweep
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, StretchHoldsAcrossSeeds) {
+  // "whp" in practice: no violation over a seed battery with paper
+  // constants.
+  util::Xoshiro256 rng(31);
+  const Graph g = graph::erdos_renyi_gnm(160, 1400, rng);
+  const auto cfg = SamplerConfig::paper_faithful(2, 2, GetParam());
+  const auto res = core::build_spanner(g, cfg);
+  const auto rep = graph::check_spanner_exact(g, res.edges, cfg.stretch_bound());
+  EXPECT_EQ(rep.violations, 0u) << "seed " << GetParam();
+  EXPECT_TRUE(rep.connected);
+}
+
+TEST_P(SeedSweep, NoNeitherNodesWithPaperConstants) {
+  util::Xoshiro256 rng(37);
+  const Graph g = graph::erdos_renyi_gnm(200, 2400, rng);
+  const auto cfg = SamplerConfig::paper_faithful(2, 2, GetParam());
+  const auto res = core::build_spanner(g, cfg);
+  for (const auto& lt : res.trace.levels) EXPECT_EQ(lt.neither, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ------------------------------------------------------------ h sensitivity
+
+class HSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HSweep, MoreTrialsNeverBreakCorrectness) {
+  util::Xoshiro256 rng(41);
+  const Graph g = graph::erdos_renyi_gnm(150, 1100, rng);
+  const auto cfg = SamplerConfig::paper_faithful(2, GetParam(), 7);
+  const auto res = core::build_spanner(g, cfg);
+  const auto rep = graph::check_spanner_exact(g, res.edges, cfg.stretch_bound());
+  EXPECT_EQ(rep.violations, 0u) << "h=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(H, HSweep, ::testing::Values(1u, 2u, 3u, 4u, 6u));
+
+// -------------------------------------------------- size scaling (Lemma 10)
+
+TEST(SizeScaling, ExponentTracksDelta) {
+  // Fit |S| ~ n^b over a size sweep on dense ER graphs; b must be within
+  // sampling slack of 1 + δ (and decisively below the dense-graph m ~ n²).
+  const auto cfg_base = SamplerConfig::bench_profile(2, 3, 5);
+  std::vector<double> xs, ys;
+  for (const graph::NodeId n : {256u, 512u, 1024u, 2048u}) {
+    util::Xoshiro256 rng(43 + n);
+    // Keep density superlinear so the spanner, not the graph, is the cap.
+    const Graph g = graph::erdos_renyi_gnm(n, 16ull * n, rng);
+    auto cfg = cfg_base;
+    const auto res = core::build_spanner(g, cfg);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(static_cast<double>(res.edges.size()));
+  }
+  const auto fit = util::fit_loglog(xs, ys);
+  EXPECT_GT(fit.slope, 0.8);
+  EXPECT_LT(fit.slope, 1.0 + cfg_base.delta() + 0.25);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,353 @@
+// Tests for the centralized Sampler (paper Sections 3–4).
+//
+// Covers: Pseudocode 1/2 mechanics, Lemma 4 (level sizes), Lemma 6
+// (light/heavy dichotomy), Lemma 8 (cluster diameters), Theorem 9 (stretch)
+// and Lemma 10 (size) — exact verification on test-sized graphs with
+// paper-faithful constants, where "whp" means "every seed we try".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/config.hpp"
+#include "core/sampler.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanner_check.hpp"
+#include "util/rng.hpp"
+
+namespace fl {
+namespace {
+
+using core::NodeStatus;
+using core::SamplerConfig;
+using graph::EdgeId;
+using graph::Graph;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+SamplerConfig faithful(unsigned k, unsigned h, std::uint64_t seed) {
+  return SamplerConfig::paper_faithful(k, h, seed);
+}
+
+TEST(Sampler, ProducesValidEdgeSubset) {
+  util::Xoshiro256 rng(7);
+  const Graph g = graph::erdos_renyi_gnm(200, 1500, rng);
+  const auto res = core::build_spanner(g, faithful(2, 3, 42));
+  EXPECT_TRUE(graph::is_valid_edge_subset(g, res.edges));
+  EXPECT_LE(res.edges.size(), g.num_edges());
+  EXPECT_FALSE(res.edges.empty());
+}
+
+TEST(Sampler, SpannerPreservesConnectivity) {
+  util::Xoshiro256 rng(11);
+  const Graph g = graph::erdos_renyi_gnm(300, 3000, rng);
+  const auto res = core::build_spanner(g, faithful(2, 3, 1));
+  const graph::SubgraphView h(g, res.edges);
+  EXPECT_TRUE(h.preserves_connectivity());
+}
+
+TEST(Sampler, StretchWithinTheorem9Bound) {
+  // Theorem 9: H is a (2·3^k − 1)-spanner whp. With paper-faithful
+  // constants at this scale the failure probability is negligible.
+  util::Xoshiro256 rng(13);
+  for (unsigned k = 1; k <= 2; ++k) {
+    const Graph g = graph::erdos_renyi_gnm(220, 2200, rng);
+    const auto cfg = faithful(k, 3, 99 + k);
+    const auto res = core::build_spanner(g, cfg);
+    const auto rep = graph::check_spanner_exact(g, res.edges, cfg.stretch_bound());
+    EXPECT_TRUE(rep.connected) << "k=" << k;
+    EXPECT_EQ(rep.violations, 0u)
+        << "k=" << k << " max stretch " << rep.max_edge_stretch
+        << " allowed " << cfg.stretch_bound();
+  }
+}
+
+TEST(Sampler, StretchHoldsOnCompleteGraph) {
+  // Paper-faithful constants at n=256 exceed every degree (trial sizes are
+  // Õ(n^{δ+ε})·log³n), so the asymptotic sparsification regime needs the
+  // scaled bench profile: budgets/trials stay well below deg = n−1.
+  const Graph g = graph::complete(256);
+  const auto cfg = SamplerConfig::bench_profile(2, 3, 5);
+  const auto res = core::build_spanner(g, cfg);
+  const auto rep = graph::check_spanner_exact(g, res.edges, cfg.stretch_bound());
+  EXPECT_EQ(rep.violations, 0u);
+  // The free lunch: the spanner must be much sparser than K_n. (At n=256
+  // the Õ(n^{1+δ}) bound with its log factors is ~n·logn·(k+1)·budget —
+  // about 30% of K_n's edges; the gap widens with n, see bench E3.)
+  EXPECT_LT(res.edges.size(), g.num_edges() / 3);
+}
+
+TEST(Sampler, StretchHoldsOnHighDiameterGraphs) {
+  const Graph grid = graph::grid(15, 15);
+  const auto cfg = faithful(1, 2, 3);
+  const auto res = core::build_spanner(grid, cfg);
+  const auto rep =
+      graph::check_spanner_exact(grid, res.edges, cfg.stretch_bound());
+  EXPECT_TRUE(rep.connected);
+  EXPECT_EQ(rep.violations, 0u);
+}
+
+TEST(Sampler, TreeInputKeepsEveryEdge) {
+  // A tree has no redundant edges; any spanner preserving connectivity
+  // must contain all n−1 edges.
+  util::Xoshiro256 rng(17);
+  const Graph g = graph::random_tree(150, rng);
+  const auto res = core::build_spanner(g, faithful(2, 3, 21));
+  EXPECT_EQ(res.edges.size(), g.num_edges());
+}
+
+TEST(Sampler, Lemma4LevelSizesShrinkAsPredicted) {
+  // n_j should concentrate around n^{1 − (2^j − 1)δ} (Lemma 4: within
+  // factor 3/2 whp). We allow a generous factor 3 at this scale.
+  util::Xoshiro256 rng(19);
+  const NodeId n = 4096;
+  const Graph g = graph::erdos_renyi_gnm(n, 16 * n, rng);
+  const auto cfg = faithful(2, 3, 7);
+  const auto res = core::build_spanner(g, cfg);
+  const double delta = cfg.delta();
+  ASSERT_EQ(res.trace.levels.size(), cfg.k + 1);
+  for (unsigned j = 1; j <= cfg.k; ++j) {
+    const double predicted =
+        std::pow(static_cast<double>(n),
+                 1.0 - (std::exp2(static_cast<double>(j)) - 1.0) * delta);
+    const double measured = res.trace.levels[j].virtual_nodes;
+    EXPECT_LE(measured, 3.0 * predicted) << "level " << j;
+    EXPECT_GE(measured, predicted / 3.0) << "level " << j;
+  }
+}
+
+TEST(Sampler, Lemma6EveryNodeLightOrHeavy) {
+  util::Xoshiro256 rng(23);
+  const Graph g = graph::erdos_renyi_gnm(500, 6000, rng);
+  const auto res = core::build_spanner(g, faithful(2, 3, 31));
+  for (const auto& lt : res.trace.levels)
+    EXPECT_EQ(lt.neither, 0u) << "level " << lt.level;
+}
+
+TEST(Sampler, Lemma6FinalLevelAllLight) {
+  util::Xoshiro256 rng(29);
+  const Graph g = graph::erdos_renyi_gnm(500, 8000, rng);
+  const auto res = core::build_spanner(g, faithful(2, 3, 37));
+  const auto& last = res.trace.levels.back();
+  EXPECT_EQ(last.heavy, 0u);
+  EXPECT_EQ(last.neither, 0u);
+  EXPECT_EQ(last.light, last.virtual_nodes);
+}
+
+TEST(Sampler, Lemma8ClusterDiametersBounded) {
+  // Every level-j cluster must induce a subgraph of H with diameter
+  // <= 3^j − 1.
+  util::Xoshiro256 rng(31);
+  const Graph g = graph::erdos_renyi_gnm(400, 4000, rng);
+  const auto cfg = faithful(2, 3, 41);
+  const auto res = core::build_spanner(g, cfg);
+  const graph::SubgraphView h(g, res.edges);
+
+  for (unsigned j = 1; j < res.trace.phys_cluster_at.size(); ++j) {
+    const auto& assign = res.trace.phys_cluster_at[j];
+    const double bound = SamplerConfig::pow3(j) - 1.0;
+    // Group physical nodes by cluster.
+    std::vector<std::vector<NodeId>> members;
+    for (NodeId p = 0; p < g.num_nodes(); ++p) {
+      if (assign[p] == kInvalidNode) continue;
+      if (assign[p] >= members.size()) members.resize(assign[p] + 1);
+      members[assign[p]].push_back(p);
+    }
+    for (const auto& cluster : members) {
+      if (cluster.size() <= 1) continue;
+      // BFS in H from one member; all others must be within `bound` AND
+      // reachable through H (we additionally check the path stays inside
+      // the cluster implicitly via the distance bound).
+      const auto dist = h.bfs_distances(cluster.front());
+      for (const NodeId p : cluster) {
+        ASSERT_NE(dist[p], graph::kUnreachable);
+        EXPECT_LE(dist[p], bound) << "level " << j;
+      }
+    }
+  }
+}
+
+TEST(Sampler, Lemma10SizeWithinBound) {
+  // |S| <= Õ(n^{1+δ}); with the explicit constants of the proof the level-j
+  // contribution is bounded by 2h · budget_j · trial-additions. We check
+  // the concrete bound |S| <= 2h·(k+1)·c²·n^{1+δ}·log³n — loose but
+  // explicit — plus the sanity |S| <= m.
+  util::Xoshiro256 rng(37);
+  const NodeId n = 1024;
+  const Graph g = graph::erdos_renyi_gnm(n, 20 * n, rng);
+  const auto cfg = faithful(2, 3, 43);
+  const auto res = core::build_spanner(g, cfg);
+  const double logn = std::log2(static_cast<double>(n));
+  const double explicit_bound = 2.0 * cfg.h * (cfg.k + 1) * cfg.c * cfg.c *
+                                std::pow(n, 1.0 + cfg.delta()) * logn * logn *
+                                logn;
+  EXPECT_LE(static_cast<double>(res.edges.size()), explicit_bound);
+  EXPECT_LE(res.edges.size(), g.num_edges());
+}
+
+TEST(Sampler, DeterministicGivenSeed) {
+  util::Xoshiro256 rng(41);
+  const Graph g = graph::erdos_renyi_gnm(300, 2400, rng);
+  const auto a = core::build_spanner(g, faithful(2, 3, 77));
+  const auto b = core::build_spanner(g, faithful(2, 3, 77));
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Sampler, DifferentSeedsDifferentSpanners) {
+  // Needs the scaled profile: with paper constants at this n, trial sizes
+  // exceed all degrees, sampling degenerates to exhaustive querying, and
+  // the output is seed-independent (correctly so).
+  const Graph g = graph::complete(256);
+  const auto a = core::build_spanner(g, SamplerConfig::bench_profile(2, 3, 1));
+  const auto b = core::build_spanner(g, SamplerConfig::bench_profile(2, 3, 2));
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(Sampler, QueryVolumeSublinearInDensity) {
+  // The conceptual headline (Question 1): message volume (≈ query edges)
+  // must not scale with m. Going from average degree 16 to the complete
+  // graph multiplies density by ~32; queries must grow far slower.
+  util::Xoshiro256 rng(47);
+  const NodeId n = 512;
+  const Graph sparse = graph::erdos_renyi_gnm(n, 8 * n, rng);
+  const Graph dense = graph::complete(n);
+  const auto cfg = SamplerConfig::bench_profile(2, 3, 3);
+  const auto rs = core::build_spanner(sparse, cfg);
+  const auto rd = core::build_spanner(dense, cfg);
+  const double qs = static_cast<double>(rs.trace.total_query_edges());
+  const double qd = static_cast<double>(rd.trace.total_query_edges());
+  const double density_ratio = static_cast<double>(dense.num_edges()) /
+                               static_cast<double>(sparse.num_edges());
+  EXPECT_LT(qd / qs, 0.5 * density_ratio) << "queries scaled with density";
+}
+
+TEST(Sampler, ForceLightCompletionRemovesNeitherNodes) {
+  // Under deliberately starved constants some nodes finish neither light
+  // nor heavy; the completion flag must patch all of them.
+  util::Xoshiro256 rng(53);
+  const Graph g = graph::erdos_renyi_gnm(600, 12000, rng);
+  SamplerConfig starved = SamplerConfig::bench_profile(2, 2, 5);
+  starved.c = 0.05;  // far below "sufficiently large"
+  const auto raw = core::build_spanner(g, starved);
+  starved.force_light_completion = true;
+  const auto fixed = core::build_spanner(g, starved);
+  std::size_t raw_neither = 0;
+  for (const auto& lt : raw.trace.levels) raw_neither += lt.neither;
+  std::size_t fixed_neither = 0;
+  for (const auto& lt : fixed.trace.levels) fixed_neither += lt.neither;
+  EXPECT_EQ(fixed_neither, 0u);
+  // And with completion the stretch guarantee is restored unconditionally.
+  const auto rep =
+      graph::check_spanner_exact(g, fixed.edges, starved.stretch_bound());
+  EXPECT_EQ(rep.violations, 0u);
+  (void)raw_neither;  // may or may not be zero; informational
+}
+
+TEST(Sampler, PeelingAblationStillCoversSimpleGraphs) {
+  // On a *simple* graph level 0 has no parallel edges, so disabling peeling
+  // only slows discovery; correctness-critical coverage happens because
+  // blocks are single edges at level 0. Higher levels may degrade — the
+  // flag exists for the E2 ablation bench; here we only require the run to
+  // complete and produce a valid subset.
+  util::Xoshiro256 rng(59);
+  const Graph g = graph::erdos_renyi_gnm(200, 1000, rng);
+  SamplerConfig cfg = faithful(2, 3, 11);
+  cfg.peel_parallel_edges = false;
+  const auto res = core::build_spanner(g, cfg);
+  EXPECT_TRUE(graph::is_valid_edge_subset(g, res.edges));
+}
+
+TEST(Sampler, RunSamplingStepLightOnLowDegree) {
+  // A ring has degree 2 everywhere: every node must finish light and add
+  // both its edges.
+  const Graph ring = graph::ring(100);
+  const auto m = graph::Multigraph::from_graph(ring);
+  std::vector<NodeId> rep(m.num_nodes());
+  for (NodeId v = 0; v < m.num_nodes(); ++v) rep[v] = v;
+  const auto cfg = faithful(1, 2, 13);
+  const auto outcomes = core::run_sampling_step(m, cfg, 100.0, 0, rep);
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.status, NodeStatus::Light);
+    EXPECT_EQ(out.f_edges.size(), 2u);
+  }
+}
+
+TEST(Sampler, RunSamplingStepPeelsParallelEdges) {
+  // Craft a two-node multigraph with heavy multiplicity: one trial must
+  // peel the whole block, so the node ends light with a single F edge.
+  std::vector<graph::Multigraph::MEdge> edges;
+  for (EdgeId i = 0; i < 50; ++i) edges.push_back({0, 1, i});
+  const graph::Multigraph m(2, std::move(edges));
+  std::vector<NodeId> rep{0, 1};
+  const auto cfg = faithful(1, 2, 17);
+  const auto outcomes = core::run_sampling_step(m, cfg, 1000.0, 0, rep);
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.status, NodeStatus::Light);
+    EXPECT_EQ(out.f_edges.size(), 1u);
+  }
+}
+
+TEST(Sampler, MultiplicityBiasPeeledAcrossTrials) {
+  // The Section 1.3 scenario: node 0 has one neighbour with massive edge
+  // multiplicity and many singleton neighbours. The iterative trials must
+  // peel the big block and still find all the singletons (node 0 light).
+  std::vector<graph::Multigraph::MEdge> edges;
+  EdgeId id = 0;
+  for (EdgeId i = 0; i < 200; ++i) edges.push_back({0, 1, id++});  // big block
+  const NodeId extra = 30;
+  for (NodeId u = 2; u < 2 + extra; ++u) edges.push_back({0, u, id++});
+  const graph::Multigraph m(2 + extra, std::move(edges));
+  std::vector<NodeId> rep(m.num_nodes());
+  for (NodeId v = 0; v < m.num_nodes(); ++v) rep[v] = v;
+  const auto cfg = faithful(2, 3, 19);
+  const auto outcomes = core::run_sampling_step(m, cfg, 4096.0, 0, rep);
+  EXPECT_EQ(outcomes[0].status, NodeStatus::Light);
+  EXPECT_EQ(outcomes[0].f_edges.size(), 1u + extra);
+}
+
+TEST(Sampler, HierarchyTraceShapesConsistent) {
+  util::Xoshiro256 rng(61);
+  const Graph g = graph::erdos_renyi_gnm(256, 2048, rng);
+  const auto cfg = faithful(2, 2, 23);
+  const auto res = core::build_spanner(g, cfg);
+  ASSERT_EQ(res.trace.levels.size(), cfg.k + 1);
+  ASSERT_EQ(res.trace.phys_cluster_at.size(), cfg.k + 1);
+  // Level 0 starts with the physical graph.
+  EXPECT_EQ(res.trace.levels[0].virtual_nodes, g.num_nodes());
+  EXPECT_EQ(res.trace.levels[0].virtual_edges, g.num_edges());
+  for (unsigned j = 0; j < cfg.k; ++j) {
+    const auto& lt = res.trace.levels[j];
+    EXPECT_EQ(lt.light + lt.heavy + lt.neither, lt.virtual_nodes);
+    EXPECT_EQ(lt.centers + lt.clustered + lt.unclustered, lt.virtual_nodes);
+    // Next level's node count equals this level's center count.
+    EXPECT_EQ(res.trace.levels[j + 1].virtual_nodes, lt.centers);
+  }
+}
+
+TEST(Sampler, StretchBoundFieldMatchesConfig) {
+  util::Xoshiro256 rng(67);
+  const Graph g = graph::erdos_renyi_gnm(100, 400, rng);
+  for (unsigned k = 1; k <= 3; ++k) {
+    const auto cfg = faithful(k, 2, 29);
+    const auto res = core::build_spanner(g, cfg);
+    EXPECT_DOUBLE_EQ(res.stretch_bound, 2.0 * SamplerConfig::pow3(k) - 1.0);
+  }
+}
+
+TEST(Sampler, RejectsBadParameters) {
+  util::Xoshiro256 rng(71);
+  const Graph g = graph::erdos_renyi_gnm(64, 256, rng);
+  SamplerConfig cfg = faithful(2, 3, 1);
+  cfg.k = 0;
+  EXPECT_THROW(core::build_spanner(g, cfg), util::ContractViolation);
+  cfg = faithful(2, 3, 1);
+  cfg.h = 0;
+  EXPECT_THROW(core::build_spanner(g, cfg), util::ContractViolation);
+  cfg = faithful(2, 3, 1);
+  cfg.h = 1000;  // > log n
+  EXPECT_THROW(core::build_spanner(g, cfg), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace fl

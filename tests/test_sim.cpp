@@ -1,0 +1,235 @@
+// Tests for the synchronous LOCAL simulator: lockstep delivery, metering,
+// knowledge-level enforcement and termination semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+#include "util/assert.hpp"
+
+namespace fl::sim {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+/// Sends one token around a ring: node 0 starts, each holder forwards to
+/// its other edge. Terminates after `hops` forwards.
+class RingToken final : public NodeProgram {
+ public:
+  RingToken(NodeId self, unsigned hops) : self_(self), hops_(hops) {}
+
+  unsigned received = 0;
+
+  void on_start(Context& ctx) override {
+    if (self_ == 0) ctx.send(ctx.incident_edges()[0], unsigned{1});
+  }
+
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
+    for (const auto& m : inbox) {
+      const auto hop = payload_as<unsigned>(m);
+      ++received;
+      if (hop < hops_) {
+        // Forward over the other edge.
+        for (const EdgeId e : ctx.incident_edges())
+          if (e != m.edge) {
+            ctx.send(e, hop + 1);
+            break;
+          }
+      }
+    }
+  }
+
+  bool done() const override { return true; }  // passive: quiesce on silence
+
+ private:
+  NodeId self_;
+  unsigned hops_;
+};
+
+TEST(Network, TokenTravelsOneHopPerRound) {
+  const Graph g = graph::ring(8);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.install_all<RingToken>(5u);
+  const auto stats = net.run(100);
+  EXPECT_TRUE(stats.terminated);
+  EXPECT_EQ(stats.messages, 5u);          // five forwards
+  EXPECT_EQ(stats.rounds, 5u + 1);        // plus the quiescence round
+}
+
+/// Every node sends its id over every edge in round 0, then counts.
+class FloodOnce final : public NodeProgram {
+ public:
+  explicit FloodOnce(NodeId self) : self_(self) {}
+  std::vector<NodeId> heard;
+
+  void on_start(Context& ctx) override {
+    for (const EdgeId e : ctx.incident_edges()) ctx.send(e, self_);
+  }
+  void on_round(Context&, std::span<const Message> inbox) override {
+    for (const auto& m : inbox) heard.push_back(payload_as<NodeId>(m));
+  }
+  bool done() const override { return true; }
+
+ private:
+  NodeId self_;
+};
+
+TEST(Network, OneRoundNeighborExchange) {
+  const Graph g = graph::complete(6);
+  Network net(g, Knowledge::EdgeIds, 2);
+  net.install_all<FloodOnce>();
+  const auto stats = net.run(10);
+  EXPECT_TRUE(stats.terminated);
+  EXPECT_EQ(stats.messages, 2u * g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& p = net.program_as<FloodOnce>(v);
+    EXPECT_EQ(p.heard.size(), 5u);
+    for (const NodeId u : p.heard) EXPECT_NE(u, v);
+  }
+}
+
+TEST(Network, MetricsPerRoundAndPerNode) {
+  const Graph g = graph::star(5);  // center 0, leaves 1..4
+  Network net(g, Knowledge::EdgeIds, 3);
+  net.install_all<FloodOnce>();
+  net.run(10);
+  const Metrics& m = net.metrics();
+  EXPECT_EQ(m.messages_total, 8u);
+  ASSERT_GE(m.messages_per_round.size(), 1u);
+  EXPECT_EQ(m.messages_per_round[0], 8u);  // everything in round 0
+  EXPECT_EQ(m.messages_per_node[0], 4u);   // the hub
+  EXPECT_EQ(m.messages_per_node[1], 1u);
+  EXPECT_EQ(m.max_messages_in_a_round(), 8u);
+}
+
+/// A program that insists on KT1 neighbour knowledge.
+class NeedsKt1 final : public NodeProgram {
+ public:
+  explicit NeedsKt1(NodeId) {}
+  void on_start(Context& ctx) override {
+    // Legal only under KT1:
+    first_neighbor = ctx.neighbor(ctx.incident_edges()[0]);
+  }
+  void on_round(Context&, std::span<const Message>) override {}
+  bool done() const override { return true; }
+  NodeId first_neighbor = graph::kInvalidNode;
+};
+
+TEST(Network, KnowledgeEnforcement) {
+  const Graph g = graph::ring(4);
+  // Installing a KT1-needing program on an EdgeIds network is rejected at
+  // the first illegal query.
+  {
+    Network net(g, Knowledge::EdgeIds, 1);
+    net.install_all<NeedsKt1>();
+    EXPECT_THROW(net.run(5), util::ContractViolation);
+  }
+  {
+    Network net(g, Knowledge::KT1, 1);
+    net.install_all<NeedsKt1>();
+    EXPECT_NO_THROW(net.run(5));
+    EXPECT_NE(net.program_as<NeedsKt1>(0).first_neighbor,
+              graph::kInvalidNode);
+  }
+}
+
+TEST(Network, Kt0ForbidsEdgeIdEnumeration) {
+  const Graph g = graph::ring(4);
+  Network net(g, Knowledge::KT0, 1);
+  net.install([](NodeId) {
+    class P final : public NodeProgram {
+     public:
+      void on_start(Context& ctx) override { (void)ctx.incident_edges(); }
+      void on_round(Context&, std::span<const Message>) override {}
+      bool done() const override { return true; }
+      Knowledge required_knowledge() const override { return Knowledge::KT0; }
+    };
+    return std::make_unique<P>();
+  });
+  EXPECT_THROW(net.run(5), util::ContractViolation);
+}
+
+TEST(Network, RejectsSendOverForeignEdge) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1);
+  const EdgeId far = b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.install([far](NodeId v) {
+    class P final : public NodeProgram {
+     public:
+      P(NodeId self, EdgeId e) : self_(self), e_(e) {}
+      void on_start(Context& ctx) override {
+        if (self_ == 0) ctx.send(e_, 1);  // 0 is not an endpoint of 2-3
+      }
+      void on_round(Context&, std::span<const Message>) override {}
+      bool done() const override { return true; }
+
+     private:
+      NodeId self_;
+      EdgeId e_;
+    };
+    return std::make_unique<P>(v, far);
+  });
+  EXPECT_THROW(net.run(5), util::ContractViolation);
+}
+
+TEST(Network, MaxRoundsStopsNonTerminatingRun) {
+  const Graph g = graph::ring(4);
+  // Ping-pong forever.
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.install([](NodeId) {
+    class P final : public NodeProgram {
+     public:
+      void on_start(Context& ctx) override {
+        ctx.send(ctx.incident_edges()[0], 0);
+      }
+      void on_round(Context& ctx, std::span<const Message> inbox) override {
+        for (const auto& m : inbox) ctx.send(m.edge, 0);
+      }
+      bool done() const override { return false; }
+    };
+    return std::make_unique<P>();
+  });
+  const auto stats = net.run(20);
+  EXPECT_FALSE(stats.terminated);
+  EXPECT_GE(stats.rounds, 20u);
+}
+
+TEST(Network, LogNBoundIsUpperBound) {
+  const Graph g = graph::ring(16);
+  Network net(g, Knowledge::EdgeIds, 1);
+  EXPECT_DOUBLE_EQ(net.log_n_bound(), 4.0);
+  net.set_log_n_bound(7.5);  // the model allows slack upward
+  EXPECT_DOUBLE_EQ(net.log_n_bound(), 7.5);
+  EXPECT_THROW(net.set_log_n_bound(2.0), util::ContractViolation);
+}
+
+TEST(Network, WordAccounting) {
+  const Graph g = graph::path(2);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.install([](NodeId v) {
+    class P final : public NodeProgram {
+     public:
+      explicit P(NodeId self) : self_(self) {}
+      void on_start(Context& ctx) override {
+        if (self_ == 0) ctx.send(ctx.incident_edges()[0], 0, /*words=*/10);
+      }
+      void on_round(Context&, std::span<const Message>) override {}
+      bool done() const override { return true; }
+
+     private:
+      NodeId self_;
+    };
+    return std::make_unique<P>(v);
+  });
+  net.run(5);
+  EXPECT_EQ(net.metrics().messages_total, 1u);
+  EXPECT_EQ(net.metrics().words_total, 10u);
+}
+
+}  // namespace
+}  // namespace fl::sim

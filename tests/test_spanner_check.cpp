@@ -1,0 +1,99 @@
+// Tests for the spanner verification oracle itself (the checker must be
+// trustworthy before it can certify Theorem 9).
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanner_check.hpp"
+#include "util/rng.hpp"
+
+namespace fl::graph {
+namespace {
+
+TEST(SpannerCheck, FullGraphIsOneSpanner) {
+  util::Xoshiro256 rng(3);
+  const Graph g = erdos_renyi_gnm(60, 200, rng);
+  std::vector<EdgeId> all(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  const auto rep = check_spanner_exact(g, all, 1.0);
+  EXPECT_TRUE(rep.connected);
+  EXPECT_DOUBLE_EQ(rep.max_edge_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(rep.mean_edge_stretch, 1.0);
+  EXPECT_EQ(rep.violations, 0u);
+  EXPECT_EQ(rep.edges_checked, g.num_edges());
+}
+
+TEST(SpannerCheck, RingMinusOneEdge) {
+  // C_n minus one edge: that edge's endpoints are n-1 apart in H.
+  const NodeId n = 10;
+  const Graph g = ring(n);
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 1; e < g.num_edges(); ++e) edges.push_back(e);
+  const auto rep = check_spanner_exact(g, edges, static_cast<double>(n - 2));
+  EXPECT_TRUE(rep.connected);
+  EXPECT_DOUBLE_EQ(rep.max_edge_stretch, static_cast<double>(n - 1));
+  EXPECT_EQ(rep.violations, 1u);
+}
+
+TEST(SpannerCheck, DisconnectedSpannerFlagged) {
+  const Graph g = ring(8);
+  const std::vector<EdgeId> half{0, 1, 2};
+  const auto rep = check_spanner_exact(g, half, 100.0);
+  EXPECT_FALSE(rep.connected);
+  EXPECT_GT(rep.violations, 0u);  // missing edges read as dist n
+}
+
+TEST(SpannerCheck, SpanningTreeStretchOnGrid) {
+  const Graph g = grid(5, 5);
+  const auto tree = spanning_forest(g);
+  const auto rep = check_spanner_exact(g, tree, 0.0);
+  EXPECT_TRUE(rep.connected);
+  // BFS-tree stretch of a grid edge is odd and small; just sanity-check
+  // bounds: at least 1, at most 2*diameter.
+  EXPECT_GE(rep.max_edge_stretch, 2.0);
+  EXPECT_LE(rep.max_edge_stretch, 2.0 * diameter_exact(g) + 1);
+}
+
+TEST(SpannerCheck, SampledAgreesWithExactOnMax) {
+  util::Xoshiro256 rng(5);
+  const Graph g = erdos_renyi_gnm(80, 240, rng);
+  const auto tree = spanning_forest(g);
+  const auto exact = check_spanner_exact(g, tree, 0.0);
+  util::Xoshiro256 rng2(7);
+  // Sampling ALL edges with a deep cap must reproduce the exact max.
+  const auto sampled = check_spanner_sampled(g, tree, g.num_edges(),
+                                             g.num_nodes(), rng2, 0.0);
+  EXPECT_DOUBLE_EQ(sampled.max_edge_stretch, exact.max_edge_stretch);
+  EXPECT_EQ(sampled.edges_checked, exact.edges_checked);
+}
+
+TEST(SpannerCheck, SampledDepthCapSaturates) {
+  const NodeId n = 12;
+  const Graph g = ring(n);
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 1; e < g.num_edges(); ++e) edges.push_back(e);
+  util::Xoshiro256 rng(11);
+  const auto rep = check_spanner_sampled(g, edges, g.num_edges(), 3, rng, 0.0);
+  // The removed edge's endpoints are 11 apart; the cap reports cap+1 = 4.
+  EXPECT_DOUBLE_EQ(rep.max_edge_stretch, 4.0);
+}
+
+TEST(SpannerCheck, PairwiseStretchSaneOnTree) {
+  const Graph g = star(20);
+  std::vector<EdgeId> all(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  util::Xoshiro256 rng(13);
+  EXPECT_DOUBLE_EQ(sampled_pairwise_stretch(g, all, 5, rng), 1.0);
+}
+
+TEST(SpannerCheck, ValidatesEdgeSubset) {
+  const Graph g = complete(5);
+  EXPECT_TRUE(is_valid_edge_subset(g, std::vector<EdgeId>{0, 3, 9}));
+  EXPECT_FALSE(is_valid_edge_subset(g, std::vector<EdgeId>{0, 0}));
+  EXPECT_FALSE(is_valid_edge_subset(g, std::vector<EdgeId>{10}));
+  EXPECT_THROW(check_spanner_exact(g, std::vector<EdgeId>{0, 0}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace fl::graph
