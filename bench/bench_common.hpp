@@ -1,9 +1,9 @@
 // Shared helpers for the experiment harness binaries.
 //
 // Every bench prints aligned predicted-vs-measured tables (fl::util::Table)
-// and accepts --quick (smaller sweeps) plus --csv (machine-readable dump)
-// and --seed. The experiment ids (E1..E10) are indexed in DESIGN.md §3 and
-// their outcomes recorded in EXPERIMENTS.md.
+// and accepts --quick (smaller sweeps) plus --csv / --json (machine-readable
+// dumps) and --seed. The experiment ids (E1..E10) are indexed in
+// docs/EXPERIMENTS.md; the binaries themselves live in bench/.
 #pragma once
 
 #include <cstdio>
@@ -20,6 +20,7 @@ namespace fl::bench {
 struct Env {
   bool quick = false;
   bool csv = false;
+  bool json = false;
   std::uint64_t seed = 1;
 
   static Env parse(int argc, const char* const* argv) {
@@ -27,6 +28,7 @@ struct Env {
     Env env;
     env.quick = opt.get_bool("quick", false);
     env.csv = opt.get_bool("csv", false);
+    env.json = opt.get_bool("json", false);
     env.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
     return env;
   }

@@ -1,9 +1,23 @@
-// Micro timing benchmarks (google-benchmark): wall-clock throughput of the
-// main building blocks. These measure *our implementation's* speed, not the
-// paper's model quantities — the model quantities live in bench_e1..e10.
+// Micro timing benchmarks: wall-clock throughput of the main building
+// blocks. These measure *our implementation's* speed, not the paper's model
+// quantities — the model quantities live in bench_e1..e10.
+//
+// Two sections:
+//   * a delivery-throughput sweep over the simulator's two inbox layouts
+//     (flat arena vs legacy per-node vectors), run when any of the common
+//     bench flags (--delivery, --json, --csv, --quick, --seed) is present;
+//     --json emits the machine-readable record that the BENCH_*.json
+//     trajectory tracking consumes;
+//   * the google-benchmark suite of building-block timings, run otherwise
+//     (all --benchmark_* flags pass through).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "baseline/baswana_sen.hpp"
+#include "bench_common.hpp"
 #include "core/config.hpp"
 #include "core/distributed_sampler.hpp"
 #include "core/sampler.hpp"
@@ -11,7 +25,9 @@
 #include "graph/spanner_check.hpp"
 #include "graph/generators.hpp"
 #include "localsim/tlocal_broadcast.hpp"
+#include "sim/network.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -89,6 +105,204 @@ void BM_SpannerCheckExact(benchmark::State& state) {
 }
 BENCHMARK(BM_SpannerCheckExact)->Arg(512)->Arg(1024);
 
+// ------------------------------------------------- delivery throughput
+
+/// Traffic driver: every node re-broadcasts a word over every incident edge
+/// for `rounds` rounds, so each round delivers exactly 2m messages. The
+/// per-round work is dominated by the simulator's enqueue + delivery path —
+/// the quantity this sweep measures.
+class FloodRounds final : public sim::NodeProgram {
+ public:
+  FloodRounds(graph::NodeId self, unsigned rounds)
+      : self_(self), rounds_(rounds) {}
+
+  void on_start(sim::Context& ctx) override {
+    send_all(ctx);
+    sent_ = 1;
+  }
+
+  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+    for (const auto& m : inbox) checksum_ += sim::payload_as<graph::NodeId>(m);
+    if (sent_ < rounds_) {
+      send_all(ctx);
+      ++sent_;
+    }
+  }
+
+  bool done() const override { return sent_ >= rounds_; }
+
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  void send_all(sim::Context& ctx) {
+    for (const graph::EdgeId e : ctx.incident_edges()) ctx.send(e, self_);
+  }
+
+  graph::NodeId self_;
+  unsigned rounds_;
+  unsigned sent_ = 0;
+  std::uint64_t checksum_ = 0;
+};
+
+struct DeliveryResult {
+  sim::RunStats stats;
+  std::uint64_t checksum = 0;
+  double seconds = 0.0;
+
+  double msgs_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(stats.messages) / seconds : 0.0;
+  }
+};
+
+DeliveryResult run_delivery(const graph::Graph& g, unsigned rounds,
+                            sim::DeliveryMode mode, std::uint64_t seed) {
+  sim::Network net(g, sim::Knowledge::EdgeIds, seed);
+  net.set_delivery_mode(mode);
+  net.install_all<FloodRounds>(rounds);
+  // Timed region = net.run() only: delivery plus whatever storage growth the
+  // mode incurs inside the run (the legacy path grows its per-node inbox
+  // vectors during the first round). Network construction and program
+  // install are identical across modes and excluded.
+  DeliveryResult res;
+  util::Timer timer;
+  res.stats = net.run(static_cast<std::size_t>(rounds) + 4);
+  res.seconds = timer.seconds();
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    res.checksum += net.program_as<FloodRounds>(v).checksum();
+  return res;
+}
+
+struct SweepRow {
+  graph::NodeId n = 0;
+  std::string family;
+  std::uint64_t edges = 0;
+  DeliveryResult flat;
+  DeliveryResult legacy;
+
+  bool stats_match() const {
+    return flat.stats.rounds == legacy.stats.rounds &&
+           flat.stats.messages == legacy.stats.messages &&
+           flat.stats.terminated == legacy.stats.terminated &&
+           flat.checksum == legacy.checksum;
+  }
+  double speedup() const {
+    return legacy.msgs_per_sec() > 0.0
+               ? flat.msgs_per_sec() / legacy.msgs_per_sec()
+               : 0.0;
+  }
+};
+
+/// Best-of-`reps` timing for both modes, alternating flat/legacy runs so
+/// machine drift hits both sides equally.
+void best_of_pair(const graph::Graph& g, unsigned rounds, std::uint64_t seed,
+                  SweepRow& row) {
+  const int reps = 7;
+  for (int r = 0; r < reps; ++r) {
+    DeliveryResult flat =
+        run_delivery(g, rounds, sim::DeliveryMode::FlatArena, seed);
+    DeliveryResult legacy =
+        run_delivery(g, rounds, sim::DeliveryMode::LegacyInbox, seed);
+    if (r == 0 || flat.seconds < row.flat.seconds) row.flat = flat;
+    if (r == 0 || legacy.seconds < row.legacy.seconds) row.legacy = legacy;
+  }
+}
+
+std::vector<SweepRow> run_delivery_sweep(const bench::Env& env) {
+  // Two send-rounds per run matches the repo's workloads: tlocal_broadcast
+  // (E8 sweeps t ∈ {1, 2, 4}) builds a fresh Network per short protocol
+  // run, so the legacy path's first-round inbox growth is not amortized
+  // over a long run — that churn is part of what delivery throughput means
+  // here.
+  const unsigned rounds = 2;
+  std::vector<graph::NodeId> sizes{1000, 10000, 100000};
+  if (env.quick) sizes = {1000, 10000};
+
+  std::vector<SweepRow> rows;
+  for (const graph::NodeId n : sizes) {
+    for (const bool dense : {true, false}) {
+      util::Xoshiro256 rng(env.seed + n + (dense ? 1 : 0));
+      const graph::Graph g =
+          dense ? graph::erdos_renyi_gnm(n, 8ull * n, rng)
+                : graph::random_tree(n, rng);
+      SweepRow row;
+      row.n = n;
+      row.family = dense ? "dense" : "sparse";
+      row.edges = g.num_edges();
+      best_of_pair(g, rounds, env.seed, row);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+void emit_delivery_json(const std::vector<SweepRow>& rows,
+                        const bench::Env& env) {
+  std::printf("{\n  \"bench\": \"delivery_throughput\",\n");
+  std::printf("  \"seed\": %llu,\n  \"quick\": %s,\n",
+              static_cast<unsigned long long>(env.seed),
+              env.quick ? "true" : "false");
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::printf(
+        "    {\"n\": %u, \"family\": \"%s\", \"edges\": %llu, "
+        "\"rounds\": %zu, \"messages\": %llu, "
+        "\"flat_msgs_per_sec\": %.0f, \"legacy_msgs_per_sec\": %.0f, "
+        "\"flat_over_legacy\": %.3f, \"stats_match\": %s}%s\n",
+        r.n, r.family.c_str(), static_cast<unsigned long long>(r.edges),
+        r.flat.stats.rounds,
+        static_cast<unsigned long long>(r.flat.stats.messages),
+        r.flat.msgs_per_sec(), r.legacy.msgs_per_sec(), r.speedup(),
+        r.stats_match() ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int run_delivery_bench(const bench::Env& env) {
+  const auto rows = run_delivery_sweep(env);
+  if (env.json) {
+    emit_delivery_json(rows, env);
+  } else {
+    util::Table table({"n", "family", "edges", "rounds", "messages",
+                       "flat Mmsg/s", "legacy Mmsg/s", "flat/legacy",
+                       "stats match?"});
+    for (const SweepRow& r : rows) {
+      table.add(static_cast<std::size_t>(r.n), r.family,
+                static_cast<unsigned long long>(r.edges), r.flat.stats.rounds,
+                static_cast<unsigned long long>(r.flat.stats.messages),
+                util::fixed(r.flat.msgs_per_sec() / 1e6, 2),
+                util::fixed(r.legacy.msgs_per_sec() / 1e6, 2),
+                util::fixed(r.speedup(), 3), r.stats_match());
+    }
+    env.emit(table, "Delivery throughput: flat arena vs legacy inboxes");
+  }
+  // Identical counts are part of the contract, not just a report column.
+  for (const SweepRow& r : rows)
+    if (!r.stats_match()) return 1;
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool delivery_section =
+      [&] {
+        for (int i = 1; i < argc; ++i) {
+          const std::string a = argv[i];
+          for (const char* flag :
+               {"--delivery", "--json", "--csv", "--quick", "--seed"})
+            if (a == flag || a.rfind(std::string(flag) + "=", 0) == 0)
+              return true;
+        }
+        return false;
+      }();
+  if (delivery_section) {
+    return run_delivery_bench(fl::bench::Env::parse(argc, argv));
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

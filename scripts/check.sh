@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Single entry point for CI and the tier-1 verify:
+#   configure -> build -> ctest -> one quick bench smoke.
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+# Bench smoke: the delivery-throughput sweep at quick sizes, JSON to stdout.
+# Exits nonzero if the flat and legacy delivery paths ever disagree on
+# RunStats, so CI catches semantic drift, not just crashes.
+"$BUILD_DIR"/bench/bench_micro_perf --quick --json
+
+echo "check.sh: all green"

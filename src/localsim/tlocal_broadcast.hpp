@@ -15,6 +15,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
+#include "sim/network.hpp"
 
 namespace fl::localsim {
 
@@ -26,10 +27,12 @@ struct BroadcastRun {
 };
 
 /// Flood origin ids for `rounds` rounds over the subgraph given by `edges`
-/// (pass all edge ids for G itself). Every node is an origin.
-BroadcastRun run_tlocal_broadcast(const graph::Graph& g,
-                                  const std::vector<graph::EdgeId>& edges,
-                                  unsigned rounds, std::uint64_t seed);
+/// (pass all edge ids for G itself). Every node is an origin. `delivery`
+/// selects the simulator's inbox storage (identical results either way).
+BroadcastRun run_tlocal_broadcast(
+    const graph::Graph& g, const std::vector<graph::EdgeId>& edges,
+    unsigned rounds, std::uint64_t seed,
+    sim::DeliveryMode delivery = sim::default_delivery_mode());
 
 /// Convenience: all edges of g (the native Θ(t·m) variant).
 std::vector<graph::EdgeId> all_edges(const graph::Graph& g);

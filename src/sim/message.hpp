@@ -18,9 +18,15 @@ struct Message {
   graph::EdgeId edge = graph::kInvalidEdge;  ///< physical edge travelled
   graph::NodeId from = graph::kInvalidNode;  ///< filled in by the network
   graph::NodeId to = graph::kInvalidNode;    ///< filled in by the network
-  std::any payload;
   std::uint32_t size_hint_words = 1;         ///< logical size (words)
+  std::any payload;
 };
+// The three ids plus the size hint pack into 16 bytes ahead of the
+// std::any (16 bytes on libstdc++) — delivery is a memory-bound move, so
+// padding costs throughput directly. Asserted relative to sizeof(std::any)
+// so fatter std::any implementations (libc++, MSVC) still build.
+static_assert(sizeof(Message) <= 16 + sizeof(std::any),
+              "Message fields no longer pack ahead of the payload");
 
 /// Convenience accessor with a sharp error message on type mismatch.
 template <typename T>

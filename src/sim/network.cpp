@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -10,6 +13,13 @@ namespace fl::sim {
 
 using graph::EdgeId;
 using graph::NodeId;
+
+DeliveryMode default_delivery_mode() {
+  const char* env = std::getenv("FL_SIM_LEGACY_INBOX");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0)
+    return DeliveryMode::LegacyInbox;
+  return DeliveryMode::FlatArena;
+}
 
 // ---------------------------------------------------------------- Context
 
@@ -56,14 +66,20 @@ util::Xoshiro256& Context::rng() { return net_->node_rngs_[self_]; }
 
 Network::Network(const graph::Graph& graph, Knowledge knowledge,
                  std::uint64_t seed)
-    : graph_(&graph), knowledge_(knowledge), streams_(seed) {
+    : graph_(&graph), knowledge_(knowledge), streams_(seed),
+      mode_(default_delivery_mode()) {
   const NodeId n = graph.num_nodes();
   FL_REQUIRE(n >= 1, "network needs at least one node");
   log_n_bound_ = std::log2(std::max<double>(2.0, n));
 
   incident_edges_.resize(n);
   node_rngs_.reserve(n);
-  inbox_.resize(n);
+  if (mode_ == DeliveryMode::LegacyInbox) {
+    inbox_.resize(n);
+  } else {
+    arena_offsets_.assign(n + 1, 0);
+    pending_counts_.assign(n, 0);
+  }
   for (NodeId v = 0; v < n; ++v) {
     const auto inc = graph.incident(v);
     incident_edges_[v].reserve(inc.size());
@@ -77,6 +93,29 @@ void Network::set_log_n_bound(double bound) {
   FL_REQUIRE(bound >= std::log2(std::max<double>(2.0, graph_->num_nodes())),
              "log n bound must be an upper bound");
   log_n_bound_ = bound;
+}
+
+void Network::set_delivery_mode(DeliveryMode mode) {
+  FL_REQUIRE(!started_, "cannot change delivery mode after the run started");
+  if (mode == mode_) return;
+  mode_ = mode;
+  if (mode_ == DeliveryMode::LegacyInbox) {
+    inbox_.resize(graph_->num_nodes());
+    arena_ = {};
+    arena_offsets_ = {};
+    pending_counts_ = {};
+  } else {
+    inbox_ = {};
+    arena_offsets_.assign(graph_->num_nodes() + 1, 0);
+    pending_counts_.assign(graph_->num_nodes(), 0);
+  }
+}
+
+std::span<const Message> Network::inbox_span(NodeId v) const {
+  FL_REQUIRE(v < graph_->num_nodes(), "node id out of range");
+  if (mode_ == DeliveryMode::LegacyInbox) return inbox_[v];
+  return {arena_.data() + arena_offsets_[v],
+          arena_offsets_[v + 1] - arena_offsets_[v]};
 }
 
 void Network::install(
@@ -107,24 +146,68 @@ void Network::enqueue(NodeId from, EdgeId edge, std::any payload,
   m.to = (ep.u == from) ? ep.v : ep.u;
   m.payload = std::move(payload);
   m.size_hint_words = size_hint_words;
+  if (mode_ == DeliveryMode::FlatArena) {
+    // Flat-arena path: per-message accounting happens here rather than at
+    // delivery — every enqueued message is delivered exactly once next
+    // round, so the totals are identical and delivery stays a pure
+    // data-movement pass. (The legacy path keeps the seed's accounting-at-
+    // delivery loop so FL_SIM_LEGACY_INBOX reproduces the seed baseline.)
+    metrics_.words_total += m.size_hint_words;
+    ++metrics_.messages_per_node[m.from];
+    ++pending_counts_[m.to];
+  }
   outbox_.push_back(std::move(m));
 }
 
 void Network::deliver_and_advance() {
-  // Account, then move each message into its destination inbox for the
-  // next round.
-  std::uint64_t count = 0;
-  for (auto& m : outbox_) {
-    ++count;
-    metrics_.words_total += m.size_hint_words;
-    ++metrics_.messages_per_node[m.from];
-    inbox_[m.to].push_back(std::move(m));
+  // Make this round's sends next round's inboxes.
+  const auto count = static_cast<std::uint64_t>(outbox_.size());
+  if (mode_ == DeliveryMode::LegacyInbox) {
+    // Seed delivery path, byte-for-byte: account and move per message.
+    for (auto& m : outbox_) {
+      metrics_.words_total += m.size_hint_words;
+      ++metrics_.messages_per_node[m.from];
+      inbox_[m.to].push_back(std::move(m));
+    }
+  } else {
+    // Counting sort by destination into the flat arena (counts were kept
+    // by enqueue). Stable, so each node sees messages in global send order
+    // — the same order the legacy per-node push_back produced.
+    //
+    // Offsets are built one slot *shifted* (arena_offsets_[v + 1] = start
+    // of v's range) and used directly as scatter cursors: after the
+    // scatter, slot v + 1 has advanced to end(v) == start(v + 1), i.e. the
+    // array is exactly the final CSR offsets — no second cursor array.
+    FL_REQUIRE(outbox_.size() < std::numeric_limits<std::uint32_t>::max(),
+               "more than 2^32 messages in one round");
+    const NodeId n = graph_->num_nodes();
+    std::uint32_t sum = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t c = pending_counts_[v];
+      pending_counts_[v] = 0;
+      arena_offsets_[v + 1] = sum;
+      sum += c;
+    }
+    arena_.resize(outbox_.size());
+    for (auto& m : outbox_) arena_[arena_offsets_[m.to + 1]++] = std::move(m);
   }
   metrics_.messages_total += count;
   metrics_.messages_per_round.push_back(count);
   outbox_.clear();
   ++round_;
   metrics_.rounds = round_;
+}
+
+void Network::consume_inbox(NodeId v) {
+  // FlatArena inboxes are bulk-recycled by the next deliver_and_advance.
+  if (mode_ == DeliveryMode::LegacyInbox) inbox_[v].clear();
+}
+
+bool Network::inbox_nonempty() const {
+  if (mode_ == DeliveryMode::FlatArena) return !arena_.empty();
+  for (const auto& box : inbox_)
+    if (!box.empty()) return true;
+  return false;
 }
 
 bool Network::all_done() const {
@@ -148,20 +231,14 @@ RunStats Network::run(std::size_t max_rounds) {
 
   RunStats stats;
   while (round_ <= max_rounds) {
-    bool any_inbox = false;
-    for (const auto& box : inbox_)
-      if (!box.empty()) {
-        any_inbox = true;
-        break;
-      }
-    if (!any_inbox && all_done()) {
+    if (!inbox_nonempty() && all_done()) {
       stats.terminated = true;
       break;
     }
     for (NodeId v = 0; v < n; ++v) {
       Context ctx(*this, v);
-      programs_[v]->on_round(ctx, inbox_[v]);
-      inbox_[v].clear();
+      programs_[v]->on_round(ctx, inbox_span(v));
+      consume_inbox(v);
     }
     deliver_and_advance();
   }
@@ -185,8 +262,8 @@ void Network::step(std::size_t rounds) {
   for (std::size_t r = 0; r < rounds; ++r) {
     for (NodeId v = 0; v < n; ++v) {
       Context ctx(*this, v);
-      programs_[v]->on_round(ctx, inbox_[v]);
-      inbox_[v].clear();
+      programs_[v]->on_round(ctx, inbox_span(v));
+      consume_inbox(v);
     }
     deliver_and_advance();
   }

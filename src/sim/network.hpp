@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -18,6 +19,23 @@
 #include "util/rng.hpp"
 
 namespace fl::sim {
+
+/// How delivered messages are stored between rounds.
+enum class DeliveryMode {
+  /// One contiguous arena per round, counting-sorted by destination with
+  /// CSR-style per-node offsets (counts maintained incrementally by the
+  /// send path). No per-node allocation churn; inboxes are spans into one
+  /// buffer read sequentially across the whole round.
+  FlatArena,
+  /// The original per-node inbox vectors with accounting at delivery — the
+  /// seed commit's delivery path, kept as a guarded fallback for A/B perf
+  /// comparison and regression hunting.
+  LegacyInbox,
+};
+
+/// FlatArena unless the FL_SIM_LEGACY_INBOX environment variable is set to
+/// a non-empty value other than "0".
+DeliveryMode default_delivery_mode();
 
 class Network {
  public:
@@ -57,6 +75,14 @@ class Network {
   /// slack the model allows).
   void set_log_n_bound(double bound);
 
+  /// Switch delivery storage; only legal before the first round.
+  void set_delivery_mode(DeliveryMode mode);
+  DeliveryMode delivery_mode() const { return mode_; }
+
+  /// Messages delivered to `v` this round, valid until the next round
+  /// advances. Exposed for tests; programs receive it via on_round.
+  std::span<const Message> inbox_span(graph::NodeId v) const;
+
   NodeProgram& program(graph::NodeId v);
   const NodeProgram& program(graph::NodeId v) const;
 
@@ -72,6 +98,8 @@ class Network {
   void enqueue(graph::NodeId from, graph::EdgeId edge, std::any payload,
                std::uint32_t size_hint_words);
   void deliver_and_advance();
+  void consume_inbox(graph::NodeId v);
+  bool inbox_nonempty() const;
   bool all_done() const;
 
   const graph::Graph* graph_;
@@ -83,7 +111,20 @@ class Network {
   std::vector<util::Xoshiro256> node_rngs_;
   std::vector<std::vector<graph::EdgeId>> incident_edges_;  // per node
 
-  std::vector<std::vector<Message>> inbox_;    // delivered this round
+  DeliveryMode mode_ = DeliveryMode::FlatArena;
+
+  // FlatArena storage: this round's deliveries, counting-sorted by
+  // destination. Node v's inbox is arena_[arena_offsets_[v] ..
+  // arena_offsets_[v + 1]). Rebuilt in place each round; per-destination
+  // counts are maintained incrementally by enqueue() so delivery needs no
+  // counting pass over the outbox. 32-bit offsets keep the randomly
+  // accessed side arrays half the size (a round is capped well below 2^32
+  // messages — deliver_and_advance enforces it before sorting).
+  std::vector<Message> arena_;
+  std::vector<std::uint32_t> arena_offsets_;   // size n + 1 once running
+  std::vector<std::uint32_t> pending_counts_;  // per-destination, this round
+
+  std::vector<std::vector<Message>> inbox_;    // LegacyInbox storage
   std::vector<Message> outbox_;                // sent this round
   std::size_t round_ = 0;
   bool started_ = false;

@@ -115,7 +115,7 @@ TEST(Log, LevelFilterWorks) {
 TEST(Timer, MeasuresElapsedTime) {
   util::Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   EXPECT_GE(t.seconds(), 0.0);
   EXPECT_GE(t.millis(), t.seconds());  // millis = seconds * 1000
   t.reset();

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <tuple>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "sim/network.hpp"
@@ -206,6 +208,141 @@ TEST(Network, LogNBoundIsUpperBound) {
   net.set_log_n_bound(7.5);  // the model allows slack upward
   EXPECT_DOUBLE_EQ(net.log_n_bound(), 7.5);
   EXPECT_THROW(net.set_log_n_bound(2.0), util::ContractViolation);
+}
+
+/// Sends its id over every incident edge in rounds where (round + id) % 3
+/// == 0, for the first `active` rounds; records everything it hears and
+/// asserts its inbox span is correctly partitioned (every message is
+/// addressed to itself, from a neighbouring endpoint of the edge).
+class PartitionProbe final : public NodeProgram {
+ public:
+  PartitionProbe(NodeId self, unsigned active) : self_(self), active_(active) {}
+
+  std::vector<std::tuple<std::size_t, NodeId, EdgeId>> heard;
+
+  void on_start(Context& ctx) override { maybe_send(ctx); }
+
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
+    for (const auto& m : inbox) {
+      EXPECT_EQ(m.to, self_);  // span partition: only own messages
+      EXPECT_NE(m.from, self_);
+      heard.emplace_back(ctx.round(), m.from, m.edge);
+    }
+    maybe_send(ctx);
+  }
+
+  bool done() const override { return true; }  // quiesce on silence
+
+ private:
+  void maybe_send(Context& ctx) {
+    if (ctx.round() >= active_) return;
+    if ((ctx.round() + self_) % 3 != 0) return;
+    for (const EdgeId e : ctx.incident_edges()) ctx.send(e, self_);
+  }
+
+  NodeId self_;
+  unsigned active_;
+};
+
+/// The flat arena must be observationally identical to the legacy per-node
+/// inboxes: same per-node delivery logs (contents and order), same
+/// RunStats, same Metrics — including rounds where many nodes receive
+/// nothing and the final self-termination round.
+TEST(Network, FlatArenaMatchesLegacyInboxes) {
+  util::Xoshiro256 rng(99);
+  const Graph g = graph::erdos_renyi_gnm(40, 120, rng);
+
+  auto run_mode = [&](DeliveryMode mode) {
+    Network net(g, Knowledge::EdgeIds, 5);
+    net.set_delivery_mode(mode);
+    net.install_all<PartitionProbe>(6u);
+    const RunStats stats = net.run(50);
+    EXPECT_TRUE(stats.terminated);
+    std::vector<std::vector<std::tuple<std::size_t, NodeId, EdgeId>>> logs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      logs.push_back(net.program_as<PartitionProbe>(v).heard);
+    return std::tuple{stats, net.metrics(), std::move(logs)};
+  };
+
+  const auto [flat_stats, flat_metrics, flat_logs] =
+      run_mode(DeliveryMode::FlatArena);
+  const auto [legacy_stats, legacy_metrics, legacy_logs] =
+      run_mode(DeliveryMode::LegacyInbox);
+
+  EXPECT_EQ(flat_stats.rounds, legacy_stats.rounds);
+  EXPECT_EQ(flat_stats.messages, legacy_stats.messages);
+  EXPECT_GT(flat_stats.messages, 0u);
+  EXPECT_EQ(flat_metrics.messages_total, legacy_metrics.messages_total);
+  EXPECT_EQ(flat_metrics.words_total, legacy_metrics.words_total);
+  EXPECT_EQ(flat_metrics.messages_per_round, legacy_metrics.messages_per_round);
+  EXPECT_EQ(flat_metrics.messages_per_node, legacy_metrics.messages_per_node);
+  EXPECT_EQ(flat_logs, legacy_logs);
+}
+
+TEST(Network, FlatArenaHandlesZeroMessageNodesAndTermination) {
+  // Star: every node floods once in round 0 and then stays silent, so the
+  // hub's span holds one message per leaf, each leaf's span holds exactly
+  // the hub's message, and every span is empty from round 1 until global
+  // quiescence.
+  const Graph g = graph::star(6);
+  Network net(g, Knowledge::EdgeIds, 4);
+  net.set_delivery_mode(DeliveryMode::FlatArena);
+  net.install_all<FloodOnce>();
+  const RunStats stats = net.run(10);
+  EXPECT_TRUE(stats.terminated);
+  EXPECT_EQ(stats.messages, 2u * g.num_edges());
+  EXPECT_EQ(net.program_as<FloodOnce>(0).heard.size(), 5u);  // the hub
+  for (NodeId v = 1; v < g.num_nodes(); ++v)
+    EXPECT_EQ(net.program_as<FloodOnce>(v).heard.size(), 1u);
+  // After termination every span is empty again.
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_TRUE(net.inbox_span(v).empty());
+}
+
+/// Node 0 sends four numbered payloads over the single edge in round 0.
+class Burst final : public NodeProgram {
+ public:
+  explicit Burst(NodeId self) : self_(self) {}
+  std::vector<unsigned> got;
+
+  void on_start(Context& ctx) override {
+    if (self_ == 0)
+      for (unsigned i = 1; i <= 4; ++i) ctx.send(ctx.incident_edges()[0], i);
+  }
+  void on_round(Context&, std::span<const Message> inbox) override {
+    for (const auto& m : inbox) got.push_back(payload_as<unsigned>(m));
+  }
+  bool done() const override { return true; }
+
+ private:
+  NodeId self_;
+};
+
+TEST(Network, FlatArenaPreservesOrderOnRepeatedSendsOverOneEdge) {
+  // Several sends over the same edge in one round: the counting sort must
+  // deliver all of them, in send order, exactly like the legacy inboxes.
+  const Graph g = graph::path(2);
+  for (const DeliveryMode mode :
+       {DeliveryMode::FlatArena, DeliveryMode::LegacyInbox}) {
+    Network net(g, Knowledge::EdgeIds, 1);
+    net.set_delivery_mode(mode);
+    net.install_all<Burst>();
+    const RunStats stats = net.run(5);
+    EXPECT_TRUE(stats.terminated);
+    EXPECT_EQ(stats.messages, 4u);
+    EXPECT_EQ(net.program_as<Burst>(1).got,
+              (std::vector<unsigned>{1, 2, 3, 4}));
+    EXPECT_TRUE(net.program_as<Burst>(0).got.empty());
+  }
+}
+
+TEST(Network, DeliveryModeLockedOnceStarted) {
+  const Graph g = graph::ring(4);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.install_all<FloodOnce>();
+  net.run(5);
+  EXPECT_THROW(net.set_delivery_mode(DeliveryMode::LegacyInbox),
+               util::ContractViolation);
 }
 
 TEST(Network, WordAccounting) {
