@@ -33,8 +33,15 @@ struct Env {
     return env;
   }
 
+  /// Render one result table in the selected format. With --json each
+  /// table becomes one JSON object on stdout (concatenated JSON /
+  /// JSON-lines style when a bench emits several tables), keyed by its
+  /// title — the machine-readable record the per-PR BENCH_*.json
+  /// trajectory snapshots consume; E1–E10 all route through here.
   void emit(const util::Table& table, const std::string& title) const {
-    if (csv) {
+    if (json) {
+      table.print_json(std::cout, title);
+    } else if (csv) {
       table.print_csv(std::cout);
     } else {
       table.print(std::cout, title);

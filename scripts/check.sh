@@ -2,18 +2,23 @@
 # Single entry point for CI and the tier-1 verify:
 #   configure -> build -> ctest -> one quick bench smoke.
 # Usage: scripts/check.sh [build-dir]   (default: build)
+# Extra configure flags (e.g. -DFL_WERROR=ON) can be passed via the
+# FL_CMAKE_ARGS environment variable; FL_SIM_LEGACY_INBOX=1 exercises the
+# legacy delivery path end to end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+# shellcheck disable=SC2086  # FL_CMAKE_ARGS is intentionally word-split
+cmake -B "$BUILD_DIR" -S . ${FL_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-# Bench smoke: the delivery-throughput sweep at quick sizes, JSON to stdout.
-# Exits nonzero if the flat and legacy delivery paths ever disagree on
-# RunStats, so CI catches semantic drift, not just crashes.
-"$BUILD_DIR"/bench/bench_micro_perf --quick --json
+# Bench smoke: the delivery-throughput sweep at quick sizes, JSON teed into
+# the per-PR trajectory snapshot at the repo root. Exits nonzero if the
+# flat and legacy delivery paths ever disagree on RunStats, so CI catches
+# semantic drift, not just crashes.
+"$BUILD_DIR"/bench/bench_micro_perf --quick --json | tee BENCH_micro_perf.json
 
 echo "check.sh: all green"

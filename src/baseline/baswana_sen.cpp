@@ -124,6 +124,11 @@ struct MsgAnnounce {
   bool sampled = false;
 };
 
+// Θ(m) announces per iteration — the whole point of this baseline — so the
+// payload must relocate with the arena's memcpy fast path.
+static_assert(sim::Payload::stores_inline<MsgAnnounce> &&
+              sim::Payload::trivially_relocatable<MsgAnnounce>);
+
 /// One announce-and-decide super-iteration occupies 2 rounds: (A) everyone
 /// announces over all incident edges, (B) everyone decides locally from the
 /// received announcements. The final phase-2 iteration reuses (A).

@@ -26,6 +26,14 @@ struct MsgResult {                 // the leader's spanner, broadcast down
   std::shared_ptr<const std::vector<EdgeId>> edges;
 };
 
+// Every message of this protocol must ride in the payload's inline buffer
+// (the cast sessions ship shared list heads, not the lists themselves).
+static_assert(sim::Payload::stores_inline<MsgWave>);
+static_assert(sim::Payload::stores_inline<MsgChild>);
+static_assert(sim::Payload::stores_inline<MsgDecline>);
+static_assert(sim::Payload::stores_inline<MsgUpcast>);
+static_assert(sim::Payload::stores_inline<MsgResult>);
+
 /// States: wait wave -> handshake -> wait child upcasts -> upcast -> wait
 /// result -> forward result -> done. The leader (node 0) computes the
 /// spanner when its upcast completes.
@@ -50,7 +58,7 @@ class CollectNode final : public sim::NodeProgram {
 
   void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
     for (const auto& m : inbox) {
-      if (std::any_cast<MsgWave>(&m.payload) != nullptr) {
+      if (sim::payload_if<MsgWave>(m) != nullptr) {
         if (!has_parent_) {
           has_parent_ = true;
           parent_edge_ = m.edge;
@@ -68,18 +76,18 @@ class CollectNode final : public sim::NodeProgram {
         }
         continue;
       }
-      if (std::any_cast<MsgChild>(&m.payload) != nullptr) {
+      if (sim::payload_if<MsgChild>(m) != nullptr) {
         child_edges_.push_back(m.edge);
         --waiting_replies_;
         maybe_finish_handshake(ctx);
         continue;
       }
-      if (std::any_cast<MsgDecline>(&m.payload) != nullptr) {
+      if (sim::payload_if<MsgDecline>(m) != nullptr) {
         --waiting_replies_;
         maybe_finish_handshake(ctx);
         continue;
       }
-      if (const auto* up = std::any_cast<MsgUpcast>(&m.payload)) {
+      if (const auto* up = sim::payload_if<MsgUpcast>(m)) {
         // A fast child (e.g. a leaf) can upcast in the same round as its
         // MsgChild handshake; buffer until our own handshake completes.
         if (!handshake_done_) {
@@ -91,7 +99,7 @@ class CollectNode final : public sim::NodeProgram {
         }
         continue;
       }
-      if (const auto* res = std::any_cast<MsgResult>(&m.payload)) {
+      if (const auto* res = sim::payload_if<MsgResult>(m)) {
         deliver_result(ctx, res->edges);
         continue;
       }

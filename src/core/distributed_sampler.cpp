@@ -100,6 +100,34 @@ struct MsgDeath {  // dying cluster announces over its F_v edges
   EdgeList boundary;
 };
 
+// The sampler's whole message budget rides on these structs: queries and
+// replies are the Õ(n^{1+δ+ε}) term, the rest are tree sessions. All of
+// them must fit the payload's inline buffer (list-carrying messages ship a
+// shared_ptr head, never the list), and the pure-control messages must hit
+// the memcpy relocation fast path.
+static_assert(sim::Payload::stores_inline<MsgSetup>);
+static_assert(sim::Payload::stores_inline<MsgGatherUp>);
+static_assert(sim::Payload::stores_inline<MsgBoundary>);
+static_assert(sim::Payload::stores_inline<MsgTrialRate> &&
+              sim::Payload::trivially_relocatable<MsgTrialRate>);
+static_assert(sim::Payload::stores_inline<MsgQuery> &&
+              sim::Payload::trivially_relocatable<MsgQuery>);
+static_assert(sim::Payload::stores_inline<MsgQueryReply>);
+static_assert(sim::Payload::stores_inline<MsgCollectUp>);
+static_assert(sim::Payload::stores_inline<MsgApply>);
+static_assert(sim::Payload::stores_inline<MsgCenterFlood> &&
+              sim::Payload::trivially_relocatable<MsgCenterFlood>);
+static_assert(sim::Payload::stores_inline<MsgCenterQuery> &&
+              sim::Payload::trivially_relocatable<MsgCenterQuery>);
+static_assert(sim::Payload::stores_inline<MsgCenterReply> &&
+              sim::Payload::trivially_relocatable<MsgCenterReply>);
+static_assert(sim::Payload::stores_inline<MsgCenterUp>);
+static_assert(sim::Payload::stores_inline<MsgJoin> &&
+              sim::Payload::trivially_relocatable<MsgJoin>);
+static_assert(sim::Payload::stores_inline<MsgAttach> &&
+              sim::Payload::trivially_relocatable<MsgAttach>);
+static_assert(sim::Payload::stores_inline<MsgDeath>);
+
 // ------------------------------------------------------ helper routines
 
 using util::binomial_draw;
@@ -225,7 +253,10 @@ class SamplerNode final : public sim::NodeProgram {
   }
 
   // --------------------------------------------------------- messaging
-  void flood_to_children(sim::Context& ctx, const std::any& payload,
+  /// Payloads are move-only, so flooding sends one copy of the (cheaply
+  /// copyable) payload struct per child edge.
+  template <typename Msg>
+  void flood_to_children(sim::Context& ctx, const Msg& payload,
                          std::uint32_t words) {
     for (std::size_t s = 0; s < inc_.size(); ++s)
       if (flag_tree_[s] && inc_[s] != parent_edge_) {
@@ -621,7 +652,7 @@ class SamplerNode final : public sim::NodeProgram {
  private:
   // ------------------------------------------------------- msg handler
   void handle(sim::Context& ctx, const sim::Message& msg) {
-    if (const auto* q = std::any_cast<MsgQuery>(&msg.payload)) {
+    if (const auto* q = sim::payload_if<MsgQuery>(msg)) {
       (void)q;
       MsgQueryReply reply;
       reply.alive = alive_ && !dying_;
@@ -633,7 +664,7 @@ class SamplerNode final : public sim::NodeProgram {
       ++sent_.queries;
       return;
     }
-    if (const auto* r = std::any_cast<MsgQueryReply>(&msg.payload)) {
+    if (const auto* r = sim::payload_if<MsgQueryReply>(msg)) {
       Found f;
       f.cluster = r->cluster;
       f.alive = r->alive;
@@ -642,22 +673,22 @@ class SamplerNode final : public sim::NodeProgram {
       found_buffer_.push_back(std::move(f));
       return;
     }
-    if (std::any_cast<MsgCenterQuery>(&msg.payload) != nullptr) {
+    if (sim::payload_if<MsgCenterQuery>(msg) != nullptr) {
       ctx.send(msg.edge, MsgCenterReply{is_center_cluster_, cluster_id_}, 2);
       ++sent_.center;
       return;
     }
-    if (const auto* r = std::any_cast<MsgCenterReply>(&msg.payload)) {
+    if (const auto* r = sim::payload_if<MsgCenterReply>(msg)) {
       if (r->is_center) center_buffer_.push_back({r->cluster, msg.edge});
       return;
     }
-    if (std::any_cast<MsgSetup>(&msg.payload) != nullptr) {
+    if (sim::payload_if<MsgSetup>(msg) != nullptr) {
       if (!alive_) return;
       parent_edge_ = msg.edge;
       flood_to_children(ctx, MsgSetup{}, 1);
       return;
     }
-    if (const auto* b = std::any_cast<MsgBoundary>(&msg.payload)) {
+    if (const auto* b = sim::payload_if<MsgBoundary>(msg)) {
       if (!alive_) return;
       boundary_ = b->boundary;
       flood_to_children(ctx, *b,
@@ -665,13 +696,13 @@ class SamplerNode final : public sim::NodeProgram {
       apply_boundary(*b->boundary);
       return;
     }
-    if (const auto* t = std::any_cast<MsgTrialRate>(&msg.payload)) {
+    if (const auto* t = sim::payload_if<MsgTrialRate>(msg)) {
       if (!alive_) return;
       current_rate_ = *t;
       flood_to_children(ctx, *t, 3);
       return;
     }
-    if (const auto* a = std::any_cast<MsgApply>(&msg.payload)) {
+    if (const auto* a = sim::payload_if<MsgApply>(msg)) {
       if (!alive_) return;
       std::uint32_t words = 1;
       for (const auto& f : *a->entries)
@@ -680,44 +711,44 @@ class SamplerNode final : public sim::NodeProgram {
       apply_trial_entries(*a->entries);
       return;
     }
-    if (const auto* cf = std::any_cast<MsgCenterFlood>(&msg.payload)) {
+    if (const auto* cf = sim::payload_if<MsgCenterFlood>(msg)) {
       if (!alive_) return;
       is_center_cluster_ = cf->is_center;
       flood_to_children(ctx, *cf, 1);
       return;
     }
-    if (const auto* j = std::any_cast<MsgJoin>(&msg.payload)) {
+    if (const auto* j = sim::payload_if<MsgJoin>(msg)) {
       if (!alive_) return;
       flood_to_children(ctx, *j, 3);
       apply_join(*j);
       return;
     }
-    if (std::any_cast<MsgAttach>(&msg.payload) != nullptr) {
+    if (sim::payload_if<MsgAttach>(msg) != nullptr) {
       const std::size_t s = slot_of(msg.edge);
       FL_ENSURE(s != kNoSlot, "attach over non-incident edge");
       flag_tree_[s] = true;
       return;
     }
-    if (const auto* d = std::any_cast<MsgDeath>(&msg.payload)) {
+    if (const auto* d = sim::payload_if<MsgDeath>(msg)) {
       if (!alive_) return;
       if (d->boundary) peel_list(*d->boundary);
       return;
     }
-    if (const auto* g = std::any_cast<MsgGatherUp>(&msg.payload)) {
+    if (const auto* g = sim::payload_if<MsgGatherUp>(msg)) {
       if (!alive_ || echo_kind_ != EchoKind::Gather) return;
       gather_acc_->insert(gather_acc_->end(), g->candidates->begin(),
                           g->candidates->end());
       child_report_received(ctx);
       return;
     }
-    if (const auto* c = std::any_cast<MsgCollectUp>(&msg.payload)) {
+    if (const auto* c = sim::payload_if<MsgCollectUp>(msg)) {
       if (!alive_ || echo_kind_ != EchoKind::Collect) return;
       collect_acc_->insert(collect_acc_->end(), c->found->begin(),
                            c->found->end());
       child_report_received(ctx);
       return;
     }
-    if (const auto* c = std::any_cast<MsgCenterUp>(&msg.payload)) {
+    if (const auto* c = sim::payload_if<MsgCenterUp>(msg)) {
       if (!alive_ || echo_kind_ != EchoKind::Center) return;
       center_acc_->insert(center_acc_->end(), c->found->begin(),
                           c->found->end());

@@ -18,6 +18,10 @@ struct MsgOrigins {
   std::shared_ptr<const std::vector<NodeId>> origins;
 };
 
+// One MsgOrigins per subset edge per round is the transformer's hot path;
+// the shared list head must stay in the payload's inline buffer.
+static_assert(sim::Payload::stores_inline<MsgOrigins>);
+
 /// Per-node flooding program over a fixed incident edge subset. Each round
 /// a node bundles everything it learned last round into one message per
 /// subset edge — the LOCAL-model accounting of Lemma 12.

@@ -1,16 +1,25 @@
 // Messages exchanged over the simulated LOCAL network.
 //
 // The LOCAL model places no bound on message size, so payloads are
-// type-erased (std::any): each protocol defines its own payload structs and
-// the simulator only meters *counts* (the paper's message complexity is a
+// type-erased: each protocol defines its own payload structs and the
+// simulator only meters *counts* (the paper's message complexity is a
 // count). An optional `size_hint_words` lets protocols self-report logical
 // size so CONGEST-style comparisons remain possible.
+//
+// Payloads ride in fl::sim::Payload (payload.hpp), a move-only small-buffer
+// container built for the delivery hot path: trivially-copyable structs up
+// to Payload::kInlineSize bytes relocate with one branch and a memcpy
+// (no type-erasure manager call, no allocation), oversized types fall
+// back to one heap allocation, and payload_as<T> names the expected vs. held type
+// on a mismatch. Each protocol static_asserts its hot-path structs stay
+// inline, so payload growth is a compile error rather than a silent
+// throughput regression.
 #pragma once
 
-#include <any>
 #include <cstdint>
 
 #include "graph/ids.hpp"
+#include "sim/payload.hpp"
 
 namespace fl::sim {
 
@@ -19,21 +28,27 @@ struct Message {
   graph::NodeId from = graph::kInvalidNode;  ///< filled in by the network
   graph::NodeId to = graph::kInvalidNode;    ///< filled in by the network
   std::uint32_t size_hint_words = 1;         ///< logical size (words)
-  std::any payload;
+  Payload payload;
 };
-// The three ids plus the size hint pack into 16 bytes ahead of the
-// std::any (16 bytes on libstdc++) — delivery is a memory-bound move, so
-// padding costs throughput directly. Asserted relative to sizeof(std::any)
-// so fatter std::any implementations (libc++, MSVC) still build.
-static_assert(sizeof(Message) <= 16 + sizeof(std::any),
-              "Message fields no longer pack ahead of the payload");
+// Delivery is a memory-bound move: the three ids plus the size hint pack
+// into 16 bytes ahead of the 32-byte Payload, an exact 48-byte Message.
+// This is asserted exactly — if a field (or Payload's geometry) grows, the
+// assert fires instead of every arena round silently paying for padding.
+static_assert(sizeof(Message) == 48, "Message must stay exactly 48 bytes");
 
-/// Convenience accessor with a sharp error message on type mismatch.
+/// Convenience accessor with a sharp error message on type mismatch: the
+/// thrown BadPayloadCast names the expected and the held payload type.
 template <typename T>
 const T& payload_as(const Message& m) {
-  const T* p = std::any_cast<T>(&m.payload);
-  if (p == nullptr) throw std::bad_any_cast();
-  return *p;
+  if (const T* p = m.payload.get_if<T>()) return *p;
+  throw BadPayloadCast(typeid(T), m.payload.type());
+}
+
+/// Pointer form of payload_as: nullptr instead of a throw on mismatch, for
+/// protocols that dispatch on the payload type.
+template <typename T>
+const T* payload_if(const Message& m) {
+  return m.payload.get_if<T>();
 }
 
 }  // namespace fl::sim

@@ -47,7 +47,7 @@ NodeId Context::neighbor(EdgeId edge) const {
   return net_->graph().other_endpoint(edge, self_);
 }
 
-void Context::send(EdgeId edge, std::any payload,
+void Context::send(EdgeId edge, Payload payload,
                    std::uint32_t size_hint_words) {
   net_->enqueue(self_, edge, std::move(payload), size_hint_words);
 }
@@ -73,6 +73,7 @@ Network::Network(const graph::Graph& graph, Knowledge knowledge,
   log_n_bound_ = std::log2(std::max<double>(2.0, n));
 
   incident_edges_.resize(n);
+  send_cursor_.assign(n, 0);
   node_rngs_.reserve(n);
   if (mode_ == DeliveryMode::LegacyInbox) {
     inbox_.resize(n);
@@ -101,11 +102,11 @@ void Network::set_delivery_mode(DeliveryMode mode) {
   mode_ = mode;
   if (mode_ == DeliveryMode::LegacyInbox) {
     inbox_.resize(graph_->num_nodes());
-    arena_ = {};
-    arena_offsets_ = {};
-    pending_counts_ = {};
+    std::vector<Message>().swap(arena_);
+    std::vector<std::uint32_t>().swap(arena_offsets_);
+    std::vector<std::uint32_t>().swap(pending_counts_);
   } else {
-    inbox_ = {};
+    std::vector<std::vector<Message>>().swap(inbox_);
     arena_offsets_.assign(graph_->num_nodes() + 1, 0);
     pending_counts_.assign(graph_->num_nodes(), 0);
   }
@@ -134,16 +135,35 @@ void Network::install(
   }
 }
 
-void Network::enqueue(NodeId from, EdgeId edge, std::any payload,
+void Network::enqueue(NodeId from, EdgeId edge, Payload payload,
                       std::uint32_t size_hint_words) {
-  FL_REQUIRE(edge < graph_->num_edges(), "send over unknown edge");
-  const auto ep = graph_->endpoints(edge);
-  FL_REQUIRE(ep.u == from || ep.v == from,
-             "a node may only send over its incident edges");
+  // Resolve `to` and prove incidence. Fast path: the sender's incidence
+  // cursor — flood-style protocols send over their incident edges in
+  // incidence order, so the expected entry (or the next one, after a
+  // skipped edge such as a tree parent) matches with a sequential read of
+  // the sender's own incidence list. A cursor miss (reply over the inbound
+  // edge, protocol-sorted edge order, ...) falls back to the seed's random
+  // endpoints-array lookup.
+  const std::span<const graph::Incidence> inc = graph_->incident(from);
+  std::uint32_t& cur = send_cursor_[from];
+  NodeId to;
+  if (cur < inc.size() && inc[cur].edge == edge) {
+    to = inc[cur].to;
+    cur = (cur + 1 == inc.size()) ? 0 : cur + 1;
+  } else if (cur + 1 < inc.size() && inc[cur + 1].edge == edge) {
+    to = inc[cur + 1].to;
+    cur = (cur + 2 == inc.size()) ? 0 : cur + 2;
+  } else {
+    FL_REQUIRE(edge < graph_->num_edges(), "send over unknown edge");
+    const auto ep = graph_->endpoints(edge);
+    FL_REQUIRE(ep.u == from || ep.v == from,
+               "a node may only send over its incident edges");
+    to = (ep.u == from) ? ep.v : ep.u;
+  }
   Message m;
   m.edge = edge;
   m.from = from;
-  m.to = (ep.u == from) ? ep.v : ep.u;
+  m.to = to;
   m.payload = std::move(payload);
   m.size_hint_words = size_hint_words;
   if (mode_ == DeliveryMode::FlatArena) {
@@ -170,32 +190,37 @@ void Network::deliver_and_advance() {
       inbox_[m.to].push_back(std::move(m));
     }
   } else {
-    // Counting sort by destination into the flat arena (counts were kept
-    // by enqueue). Stable, so each node sees messages in global send order
-    // — the same order the legacy per-node push_back produced.
-    //
-    // Offsets are built one slot *shifted* (arena_offsets_[v + 1] = start
-    // of v's range) and used directly as scatter cursors: after the
-    // scatter, slot v + 1 has advanced to end(v) == start(v + 1), i.e. the
-    // array is exactly the final CSR offsets — no second cursor array.
-    FL_REQUIRE(outbox_.size() < std::numeric_limits<std::uint32_t>::max(),
-               "more than 2^32 messages in one round");
-    const NodeId n = graph_->num_nodes();
-    std::uint32_t sum = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      const std::uint32_t c = pending_counts_[v];
-      pending_counts_[v] = 0;
-      arena_offsets_[v + 1] = sum;
-      sum += c;
-    }
-    arena_.resize(outbox_.size());
-    for (auto& m : outbox_) arena_[arena_offsets_[m.to + 1]++] = std::move(m);
+    scatter_outbox();
   }
   metrics_.messages_total += count;
   metrics_.messages_per_round.push_back(count);
+  delivered_last_round_ = count;
   outbox_.clear();
   ++round_;
   metrics_.rounds = round_;
+}
+
+void Network::scatter_outbox() {
+  // Counting sort by destination into the flat arena (counts were kept
+  // by enqueue). Stable, so each node sees messages in global send order
+  // — the same order the legacy per-node push_back produced.
+  //
+  // Offsets are built one slot *shifted* (arena_offsets_[v + 1] = start
+  // of v's range) and used directly as scatter cursors: after the
+  // scatter, slot v + 1 has advanced to end(v) == start(v + 1), i.e. the
+  // array is exactly the final CSR offsets — no second cursor array.
+  FL_REQUIRE(outbox_.size() < std::numeric_limits<std::uint32_t>::max(),
+             "more than 2^32 messages in one round");
+  const NodeId n = graph_->num_nodes();
+  std::uint32_t sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t c = pending_counts_[v];
+    pending_counts_[v] = 0;
+    arena_offsets_[v + 1] = sum;
+    sum += c;
+  }
+  arena_.resize(outbox_.size());
+  for (auto& m : outbox_) arena_[arena_offsets_[m.to + 1]++] = std::move(m);
 }
 
 void Network::consume_inbox(NodeId v) {
@@ -204,10 +229,10 @@ void Network::consume_inbox(NodeId v) {
 }
 
 bool Network::inbox_nonempty() const {
-  if (mode_ == DeliveryMode::FlatArena) return !arena_.empty();
-  for (const auto& box : inbox_)
-    if (!box.empty()) return true;
-  return false;
+  // Both modes: deliver_and_advance counted what it just moved into the
+  // inboxes. (The legacy path used to rescan all n inbox vectors here,
+  // an O(n) pass per round on otherwise-idle networks.)
+  return delivered_last_round_ != 0;
 }
 
 bool Network::all_done() const {
@@ -222,6 +247,12 @@ RunStats Network::run(std::size_t max_rounds) {
 
   if (!started_) {
     started_ = true;
+    // One flood over every edge (in both directions) is the canonical
+    // LOCAL round; reserving that footprint up front spares the first big
+    // round ~20 doubling reallocations, each of which re-moves the whole
+    // outbox. Reserve commits address space only — pages a lighter
+    // protocol never touches cost nothing.
+    outbox_.reserve(2 * static_cast<std::size_t>(graph_->num_edges()));
     for (NodeId v = 0; v < n; ++v) {
       Context ctx(*this, v);
       programs_[v]->on_start(ctx);
@@ -252,6 +283,7 @@ void Network::step(std::size_t rounds) {
   const NodeId n = graph_->num_nodes();
   if (!started_) {
     started_ = true;
+    outbox_.reserve(2 * static_cast<std::size_t>(graph_->num_edges()));
     for (NodeId v = 0; v < n; ++v) {
       Context ctx(*this, v);
       programs_[v]->on_start(ctx);

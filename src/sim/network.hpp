@@ -95,9 +95,10 @@ class Network {
  private:
   friend class Context;
 
-  void enqueue(graph::NodeId from, graph::EdgeId edge, std::any payload,
+  void enqueue(graph::NodeId from, graph::EdgeId edge, Payload payload,
                std::uint32_t size_hint_words);
   void deliver_and_advance();
+  void scatter_outbox();
   void consume_inbox(graph::NodeId v);
   bool inbox_nonempty() const;
   bool all_done() const;
@@ -110,6 +111,13 @@ class Network {
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<util::Xoshiro256> node_rngs_;
   std::vector<std::vector<graph::EdgeId>> incident_edges_;  // per node
+
+  // Send-side cursor per node: protocols overwhelmingly send over their
+  // incident edges in incidence order (flood loops), so enqueue resolves
+  // `to` from the node's own incidence list — a sequential, cache-warm
+  // read — instead of a random lookup into the global endpoints array.
+  // Arbitrary-edge sends (replies) fall back to the endpoints lookup.
+  std::vector<std::uint32_t> send_cursor_;
 
   DeliveryMode mode_ = DeliveryMode::FlatArena;
 
@@ -126,6 +134,10 @@ class Network {
 
   std::vector<std::vector<Message>> inbox_;    // LegacyInbox storage
   std::vector<Message> outbox_;                // sent this round
+  // Messages moved to inboxes by the last deliver_and_advance — the
+  // quiescence test, O(1) in both modes (the LegacyInbox path used to
+  // rescan all n inbox vectors per round).
+  std::uint64_t delivered_last_round_ = 0;
   std::size_t round_ = 0;
   bool started_ = false;
   Metrics metrics_;

@@ -49,8 +49,10 @@ class Context {
   /// ID of the other endpoint of `edge` (requires KT1).
   graph::NodeId neighbor(graph::EdgeId edge) const;
 
-  /// Send `payload` over `edge` this round; delivered next round.
-  void send(graph::EdgeId edge, std::any payload,
+  /// Send `payload` over `edge` this round; delivered next round. Any
+  /// movable value converts to Payload; small trivially-copyable structs
+  /// travel allocation-free (see payload.hpp).
+  void send(graph::EdgeId edge, Payload payload,
             std::uint32_t size_hint_words = 1);
 
   /// Current round number (0-based).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "util/assert.hpp"
@@ -52,6 +53,74 @@ void Table::print_csv(std::ostream& os) const {
   };
   emit(headers_);
   for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+
+/// Is the cell exactly one JSON-compatible number? (to_cell produces
+/// plain decimals and %e notation. strtod alone is too permissive — it
+/// also accepts "nan"/"-inf"/hex, none of which are valid JSON tokens —
+/// so restrict to the decimal character set first.)
+bool numeric_cell(const std::string& s) {
+  if (s.empty()) return false;
+  const char first = s[0];
+  if (first != '-' && (first < '0' || first > '9')) return false;
+  for (const char ch : s)
+    if ((ch < '0' || ch > '9') && ch != '-' && ch != '+' && ch != '.' &&
+        ch != 'e' && ch != 'E')
+      return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;  // UTF-8 passes through unescaped
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os, const std::string& name) const {
+  os << "{\"table\": ";
+  json_string(os, name);
+  os << ",\n \"columns\": [";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ", ";
+    json_string(os, headers_[c]);
+  }
+  os << "],\n \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) os << ", ";
+      json_string(os, headers_[c]);
+      os << ": ";
+      if (numeric_cell(rows_[r][c])) {
+        os << rows_[r][c];
+      } else {
+        json_string(os, rows_[r][c]);
+      }
+    }
+    os << '}';
+  }
+  os << "\n ]}\n";
 }
 
 std::string Table::to_cell(double v) {

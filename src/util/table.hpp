@@ -35,6 +35,12 @@ class Table {
   /// RFC-4180-ish CSV (no quoting needed for our numeric cells).
   void print_csv(std::ostream& os) const;
 
+  /// One JSON object per table: {"table": name, "columns": [...],
+  /// "rows": [{column: value, ...}, ...]}. Numeric-looking cells are
+  /// emitted as JSON numbers, everything else as strings — the format the
+  /// per-PR BENCH_*.json trajectory snapshots consume.
+  void print_json(std::ostream& os, const std::string& name) const;
+
   static std::string to_cell(const std::string& s) { return s; }
   static std::string to_cell(const char* s) { return s; }
   static std::string to_cell(double v);
