@@ -26,6 +26,7 @@
 #include "graph/generators.hpp"
 #include "localsim/tlocal_broadcast.hpp"
 #include "sim/network.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -155,9 +156,11 @@ struct DeliveryResult {
 };
 
 DeliveryResult run_delivery(const graph::Graph& g, unsigned rounds,
-                            sim::DeliveryMode mode, std::uint64_t seed) {
+                            sim::DeliveryMode mode, std::uint64_t seed,
+                            unsigned threads = 1) {
   sim::Network net(g, sim::Knowledge::EdgeIds, seed);
   net.set_delivery_mode(mode);
+  net.set_parallelism({threads});
   net.install_all<FloodRounds>(rounds);
   // Timed region = net.run() only: delivery plus whatever storage growth the
   // mode incurs inside the run (the legacy path grows its per-node inbox
@@ -176,38 +179,52 @@ struct SweepRow {
   graph::NodeId n = 0;
   std::string family;
   std::uint64_t edges = 0;
-  DeliveryResult flat;
+  unsigned threads = 1;   ///< thread count of the parallel (flat_mt) column
+  DeliveryResult flat;    ///< flat arena, sequential (1 thread)
+  DeliveryResult flat_mt; ///< flat arena, `threads` execution lanes
   DeliveryResult legacy;
 
   bool stats_match() const {
-    return flat.stats.rounds == legacy.stats.rounds &&
-           flat.stats.messages == legacy.stats.messages &&
-           flat.stats.terminated == legacy.stats.terminated &&
-           flat.checksum == legacy.checksum;
+    auto same = [&](const DeliveryResult& other) {
+      return flat.stats.rounds == other.stats.rounds &&
+             flat.stats.messages == other.stats.messages &&
+             flat.stats.terminated == other.stats.terminated &&
+             flat.checksum == other.checksum;
+    };
+    return same(legacy) && same(flat_mt);
   }
   double speedup() const {
     return legacy.msgs_per_sec() > 0.0
                ? flat.msgs_per_sec() / legacy.msgs_per_sec()
                : 0.0;
   }
+  double parallel_speedup() const {
+    return flat.msgs_per_sec() > 0.0
+               ? flat_mt.msgs_per_sec() / flat.msgs_per_sec()
+               : 0.0;
+  }
 };
 
-/// Best-of-`reps` timing for both modes, alternating flat/legacy runs so
-/// machine drift hits both sides equally.
-void best_of_pair(const graph::Graph& g, unsigned rounds, std::uint64_t seed,
-                  SweepRow& row) {
+/// Best-of-`reps` timing for all three configurations, interleaving the
+/// runs so machine drift hits every side equally.
+void best_of_triple(const graph::Graph& g, unsigned rounds, std::uint64_t seed,
+                    SweepRow& row) {
   const int reps = 7;
   for (int r = 0; r < reps; ++r) {
     DeliveryResult flat =
         run_delivery(g, rounds, sim::DeliveryMode::FlatArena, seed);
+    DeliveryResult flat_mt = run_delivery(
+        g, rounds, sim::DeliveryMode::FlatArena, seed, row.threads);
     DeliveryResult legacy =
         run_delivery(g, rounds, sim::DeliveryMode::LegacyInbox, seed);
     if (r == 0 || flat.seconds < row.flat.seconds) row.flat = flat;
+    if (r == 0 || flat_mt.seconds < row.flat_mt.seconds) row.flat_mt = flat_mt;
     if (r == 0 || legacy.seconds < row.legacy.seconds) row.legacy = legacy;
   }
 }
 
-std::vector<SweepRow> run_delivery_sweep(const bench::Env& env) {
+std::vector<SweepRow> run_delivery_sweep(const bench::Env& env,
+                                         unsigned threads) {
   // Two send-rounds per run matches the repo's workloads: tlocal_broadcast
   // (E8 sweeps t ∈ {1, 2, 4}) builds a fresh Network per short protocol
   // run, so the legacy path's first-round inbox growth is not amortized
@@ -228,7 +245,8 @@ std::vector<SweepRow> run_delivery_sweep(const bench::Env& env) {
       row.n = n;
       row.family = dense ? "dense" : "sparse";
       row.edges = g.num_edges();
-      best_of_pair(g, rounds, env.seed, row);
+      row.threads = threads;
+      best_of_triple(g, rounds, env.seed, row);
       rows.push_back(std::move(row));
     }
   }
@@ -246,36 +264,43 @@ void emit_delivery_json(const std::vector<SweepRow>& rows,
     const SweepRow& r = rows[i];
     std::printf(
         "    {\"n\": %u, \"family\": \"%s\", \"edges\": %llu, "
-        "\"rounds\": %zu, \"messages\": %llu, "
-        "\"flat_msgs_per_sec\": %.0f, \"legacy_msgs_per_sec\": %.0f, "
-        "\"flat_over_legacy\": %.3f, \"stats_match\": %s}%s\n",
+        "\"rounds\": %zu, \"messages\": %llu, \"threads\": %u, "
+        "\"flat_msgs_per_sec\": %.0f, \"flat_mt_msgs_per_sec\": %.0f, "
+        "\"legacy_msgs_per_sec\": %.0f, "
+        "\"flat_over_legacy\": %.3f, \"mt_over_flat\": %.3f, "
+        "\"stats_match\": %s}%s\n",
         r.n, r.family.c_str(), static_cast<unsigned long long>(r.edges),
         r.flat.stats.rounds,
-        static_cast<unsigned long long>(r.flat.stats.messages),
-        r.flat.msgs_per_sec(), r.legacy.msgs_per_sec(), r.speedup(),
+        static_cast<unsigned long long>(r.flat.stats.messages), r.threads,
+        r.flat.msgs_per_sec(), r.flat_mt.msgs_per_sec(),
+        r.legacy.msgs_per_sec(), r.speedup(), r.parallel_speedup(),
         r.stats_match() ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
 }
 
-int run_delivery_bench(const bench::Env& env) {
-  const auto rows = run_delivery_sweep(env);
+int run_delivery_bench(const bench::Env& env, unsigned threads) {
+  const auto rows = run_delivery_sweep(env, threads);
   if (env.json) {
     emit_delivery_json(rows, env);
   } else {
     util::Table table({"n", "family", "edges", "rounds", "messages",
-                       "flat Mmsg/s", "legacy Mmsg/s", "flat/legacy",
-                       "stats match?"});
+                       "flat Mmsg/s", "flat@T Mmsg/s", "legacy Mmsg/s",
+                       "flat/legacy", "T/1", "stats match?"});
     for (const SweepRow& r : rows) {
       table.add(static_cast<std::size_t>(r.n), r.family,
                 static_cast<unsigned long long>(r.edges), r.flat.stats.rounds,
                 static_cast<unsigned long long>(r.flat.stats.messages),
                 util::fixed(r.flat.msgs_per_sec() / 1e6, 2),
+                util::fixed(r.flat_mt.msgs_per_sec() / 1e6, 2),
                 util::fixed(r.legacy.msgs_per_sec() / 1e6, 2),
-                util::fixed(r.speedup(), 3), r.stats_match());
+                util::fixed(r.speedup(), 3),
+                util::fixed(r.parallel_speedup(), 3), r.stats_match());
     }
-    env.emit(table, "Delivery throughput: flat arena vs legacy inboxes");
+    env.emit(table, "Delivery throughput: flat arena (1 and " +
+                        std::to_string(threads) +
+                        " threads) vs legacy inboxes");
   }
   // Identical counts are part of the contract, not just a report column.
   for (const SweepRow& r : rows)
@@ -290,15 +315,22 @@ int main(int argc, char** argv) {
       [&] {
         for (int i = 1; i < argc; ++i) {
           const std::string a = argv[i];
-          for (const char* flag :
-               {"--delivery", "--json", "--csv", "--quick", "--seed"})
+          for (const char* flag : {"--delivery", "--json", "--csv", "--quick",
+                                   "--seed", "--threads"})
             if (a == flag || a.rfind(std::string(flag) + "=", 0) == 0)
               return true;
         }
         return false;
       }();
   if (delivery_section) {
-    return run_delivery_bench(fl::bench::Env::parse(argc, argv));
+    // --threads N sets the parallel column's lane count (default 8); the
+    // sequential flat and legacy columns always run single-threaded.
+    const fl::util::Options opt(argc, argv);
+    const std::int64_t threads = opt.get_int("threads", 8);
+    FL_REQUIRE(threads >= 1 && threads <= 1024,
+               "--threads must be in [1, 1024]");
+    return run_delivery_bench(fl::bench::Env::parse(argc, argv),
+                              static_cast<unsigned>(threads));
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,108 @@
+#include "sim/exec.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace fl::sim {
+
+ParallelConfig default_parallel_config() {
+  const char* env = std::getenv("FL_SIM_THREADS");
+  if (env == nullptr || *env == '\0') return {};
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  FL_REQUIRE(end != nullptr && *end == '\0' && v >= 1,
+             "FL_SIM_THREADS must be a positive integer");
+  FL_REQUIRE(v <= 1024, "FL_SIM_THREADS capped at 1024");
+  return {static_cast<unsigned>(v)};
+}
+
+std::vector<ShardRange> partition_nodes(graph::NodeId n, unsigned shards) {
+  FL_REQUIRE(n >= 1, "cannot partition an empty node set");
+  if (shards < 1) shards = 1;
+  const auto k = static_cast<graph::NodeId>(
+      shards < n ? shards : n);  // never more shards than nodes
+  std::vector<ShardRange> ranges(k);
+  const graph::NodeId base = n / k;
+  const graph::NodeId extra = n % k;  // first `extra` shards get one more
+  graph::NodeId begin = 0;
+  for (graph::NodeId s = 0; s < k; ++s) {
+    const graph::NodeId size = base + (s < extra ? 1 : 0);
+    ranges[s] = {begin, begin + size};
+    begin += size;
+  }
+  return ranges;
+}
+
+// ------------------------------------------------------------- ExecPool
+
+ExecPool::ExecPool(unsigned lanes) : lanes_(lanes < 1 ? 1 : lanes) {
+  errors_.resize(lanes_);
+  workers_.reserve(lanes_ - 1);
+  for (unsigned lane = 1; lane < lanes_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ExecPool::~ExecPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ExecPool::run(const std::function<void(unsigned)>& job) {
+  if (lanes_ > 1) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      pending_ = lanes_ - 1;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+  }
+  try {
+    job(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  if (lanes_ > 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  for (auto& e : errors_) {
+    if (e) {
+      const std::exception_ptr first = e;
+      for (auto& other : errors_) other = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+void ExecPool::worker_loop(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(lane);
+    } catch (...) {
+      errors_[lane] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace fl::sim

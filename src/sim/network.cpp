@@ -23,8 +23,6 @@ DeliveryMode default_delivery_mode() {
 
 // ---------------------------------------------------------------- Context
 
-Context::Context(Network& net, NodeId self) : net_(&net), self_(self) {}
-
 std::size_t Context::degree() const {
   return net_->graph().degree(self_);
 }
@@ -49,7 +47,8 @@ NodeId Context::neighbor(EdgeId edge) const {
 
 void Context::send(EdgeId edge, Payload payload,
                    std::uint32_t size_hint_words) {
-  net_->enqueue(self_, edge, std::move(payload), size_hint_words);
+  net_->enqueue(lane_ != nullptr ? *lane_ : net_->lanes_.front(), self_,
+                edge, std::move(payload), size_hint_words);
 }
 
 std::size_t Context::round() const { return net_->round(); }
@@ -67,19 +66,24 @@ util::Xoshiro256& Context::rng() { return net_->node_rngs_[self_]; }
 Network::Network(const graph::Graph& graph, Knowledge knowledge,
                  std::uint64_t seed)
     : graph_(&graph), knowledge_(knowledge), streams_(seed),
-      mode_(default_delivery_mode()) {
+      mode_(default_delivery_mode()), par_(default_parallel_config()) {
   const NodeId n = graph.num_nodes();
   FL_REQUIRE(n >= 1, "network needs at least one node");
   log_n_bound_ = std::log2(std::max<double>(2.0, n));
 
   incident_edges_.resize(n);
   send_cursor_.assign(n, 0);
+  slot_cache_.resize(n);
+  // Lane 0 exists (fully sized) from construction so sends through a
+  // pre-run Context land correctly; begin_if_needed may add more lanes.
+  lanes_.resize(1);
   node_rngs_.reserve(n);
   if (mode_ == DeliveryMode::LegacyInbox) {
     inbox_.resize(n);
   } else {
     arena_offsets_.assign(n + 1, 0);
-    pending_counts_.assign(n, 0);
+    lanes_[0].dest_counts.assign(n, 0);
+    lanes_[0].cursors.assign(n, 0);
   }
   for (NodeId v = 0; v < n; ++v) {
     const auto inc = graph.incident(v);
@@ -104,12 +108,23 @@ void Network::set_delivery_mode(DeliveryMode mode) {
     inbox_.resize(graph_->num_nodes());
     std::vector<Message>().swap(arena_);
     std::vector<std::uint32_t>().swap(arena_offsets_);
-    std::vector<std::uint32_t>().swap(pending_counts_);
+    std::vector<std::uint32_t>().swap(lanes_[0].dest_counts);
+    std::vector<std::uint32_t>().swap(lanes_[0].cursors);
   } else {
     std::vector<std::vector<Message>>().swap(inbox_);
     arena_offsets_.assign(graph_->num_nodes() + 1, 0);
-    pending_counts_.assign(graph_->num_nodes(), 0);
+    lanes_[0].dest_counts.assign(graph_->num_nodes(), 0);
+    lanes_[0].cursors.assign(graph_->num_nodes(), 0);
   }
+}
+
+void Network::set_parallelism(ParallelConfig par) {
+  FL_REQUIRE(!started_, "cannot change parallelism after the run started");
+  FL_REQUIRE(par.threads >= 1, "parallelism needs at least one thread");
+  // Every lane is a real OS thread; cap well above any sane machine so a
+  // wrapped or garbage thread count fails loudly instead of fork-bombing.
+  FL_REQUIRE(par.threads <= 1024, "parallelism capped at 1024 threads");
+  par_ = par;
 }
 
 std::span<const Message> Network::inbox_span(NodeId v) const {
@@ -135,15 +150,65 @@ void Network::install(
   }
 }
 
-void Network::enqueue(NodeId from, EdgeId edge, Payload payload,
-                      std::uint32_t size_hint_words) {
+NodeId Network::resolve_slow(NodeId from, EdgeId edge,
+                             std::span<const graph::Incidence> inc) {
+  // Private-edge-order senders (distributed_sampler sorts its incident
+  // edges by id) miss the incidence cursor on every send; resolving them
+  // through the global endpoints array is a random access across the whole
+  // graph per message. Instead, build an edge-id-sorted index of the
+  // node's own incidence slots and keep a cursor into it: an ascending-
+  // edge-id sweep then costs one sequential, node-local read per send,
+  // like the incidence fast path. The O(deg log deg) build is deferred
+  // until the node has missed a few times — a one-shot reply (the other
+  // common miss) keeps the seed's single O(1) endpoints lookup instead of
+  // paying for an index it will never reuse.
+  EdgeSlotCache& cache = slot_cache_[from];
+  if (cache.sorted.empty()) {
+    if (++cache.misses >= EdgeSlotCache::kBuildAfterMisses && !inc.empty()) {
+      cache.sorted.reserve(inc.size());
+      for (std::uint32_t s = 0; s < inc.size(); ++s)
+        cache.sorted.emplace_back(inc[s].edge, s);
+      std::sort(cache.sorted.begin(), cache.sorted.end());
+    } else {
+      FL_REQUIRE(edge < graph_->num_edges(), "send over unknown edge");
+      const auto ep = graph_->endpoints(edge);
+      FL_REQUIRE(ep.u == from || ep.v == from,
+                 "a node may only send over its incident edges");
+      return (ep.u == from) ? ep.v : ep.u;
+    }
+  }
+  if (cache.cursor < cache.sorted.size() &&
+      cache.sorted[cache.cursor].first == edge) {
+    const std::uint32_t slot = cache.sorted[cache.cursor].second;
+    cache.cursor =
+        (cache.cursor + 1 == cache.sorted.size()) ? 0 : cache.cursor + 1;
+    return inc[slot].to;
+  }
+  const auto it =
+      std::lower_bound(cache.sorted.begin(), cache.sorted.end(),
+                       std::pair<EdgeId, std::uint32_t>{edge, 0});
+  if (it != cache.sorted.end() && it->first == edge) {
+    const auto pos = static_cast<std::uint32_t>(it - cache.sorted.begin());
+    cache.cursor = (pos + 1 == cache.sorted.size()) ? 0 : pos + 1;
+    return inc[it->second].to;
+  }
+  // Not one of the sender's edges: fail with the seed's diagnostics.
+  FL_REQUIRE(edge < graph_->num_edges(), "send over unknown edge");
+  const auto ep = graph_->endpoints(edge);
+  FL_REQUIRE(ep.u == from || ep.v == from,
+             "a node may only send over its incident edges");
+  return (ep.u == from) ? ep.v : ep.u;
+}
+
+void Network::enqueue(SendLane& lane, NodeId from, EdgeId edge,
+                      Payload payload, std::uint32_t size_hint_words) {
   // Resolve `to` and prove incidence. Fast path: the sender's incidence
   // cursor — flood-style protocols send over their incident edges in
   // incidence order, so the expected entry (or the next one, after a
   // skipped edge such as a tree parent) matches with a sequential read of
-  // the sender's own incidence list. A cursor miss (reply over the inbound
-  // edge, protocol-sorted edge order, ...) falls back to the seed's random
-  // endpoints-array lookup.
+  // the sender's own incidence list. Anything else (reply over the inbound
+  // edge, protocol-sorted edge order, ...) goes through the per-node
+  // edge→slot cache in resolve_slow.
   const std::span<const graph::Incidence> inc = graph_->incident(from);
   std::uint32_t& cur = send_cursor_[from];
   NodeId to;
@@ -154,11 +219,7 @@ void Network::enqueue(NodeId from, EdgeId edge, Payload payload,
     to = inc[cur + 1].to;
     cur = (cur + 2 == inc.size()) ? 0 : cur + 2;
   } else {
-    FL_REQUIRE(edge < graph_->num_edges(), "send over unknown edge");
-    const auto ep = graph_->endpoints(edge);
-    FL_REQUIRE(ep.u == from || ep.v == from,
-               "a node may only send over its incident edges");
-    to = (ep.u == from) ? ep.v : ep.u;
+    to = resolve_slow(from, edge, inc);
   }
   Message m;
   m.edge = edge;
@@ -170,57 +231,147 @@ void Network::enqueue(NodeId from, EdgeId edge, Payload payload,
     // Flat-arena path: per-message accounting happens here rather than at
     // delivery — every enqueued message is delivered exactly once next
     // round, so the totals are identical and delivery stays a pure
-    // data-movement pass. (The legacy path keeps the seed's accounting-at-
-    // delivery loop so FL_SIM_LEGACY_INBOX reproduces the seed baseline.)
-    metrics_.words_total += m.size_hint_words;
+    // data-movement pass. All of it is lane- or sender-local (the sender
+    // belongs to the stepping shard), so parallel stepping never contends:
+    // words go to the lane, counts to the lane's per-destination array,
+    // and messages_per_node is indexed by the sender. (The legacy path
+    // keeps the seed's accounting-at-delivery loop so FL_SIM_LEGACY_INBOX
+    // reproduces the seed baseline.)
+    lane.words += m.size_hint_words;
     ++metrics_.messages_per_node[m.from];
-    ++pending_counts_[m.to];
+    ++lane.dest_counts[m.to];
   }
-  outbox_.push_back(std::move(m));
+  lane.outbox.push_back(std::move(m));
+}
+
+void Network::begin_if_needed() {
+  // Shared run()/step() preamble: finalize the execution plan from mode_
+  // and par_, run every node's on_start, deliver round 0's sends.
+  if (started_) return;
+  started_ = true;
+  const NodeId n = graph_->num_nodes();
+  const unsigned want =
+      (mode_ == DeliveryMode::LegacyInbox) ? 1 : par_.threads;
+  shards_ = partition_nodes(n, want);
+  lanes_.resize(shards_.size());
+  // One flood over every edge (in both directions) is the canonical LOCAL
+  // round; reserving that footprint up front spares the first big round
+  // ~20 doubling reallocations, each of which re-moves the whole outbox.
+  // Reserve commits address space only — pages a lighter protocol never
+  // touches cost nothing.
+  const std::size_t flood = 2 * static_cast<std::size_t>(graph_->num_edges());
+  for (auto& lane : lanes_) {
+    lane.outbox.reserve(flood / lanes_.size() + 16);
+    // Lane 0 is already sized — and may hold counts from pre-run sends,
+    // which must survive into the first merge.
+    if (mode_ == DeliveryMode::FlatArena && lane.dest_counts.size() != n) {
+      lane.dest_counts.assign(n, 0);
+      lane.cursors.assign(n, 0);
+    }
+  }
+  if (lanes_.size() > 1) pool_ = std::make_unique<ExecPool>(
+      static_cast<unsigned>(lanes_.size()));
+  step_all_nodes(/*starting=*/true);
+  deliver_and_advance();
+}
+
+void Network::step_all_nodes(bool starting) {
+  // One round's compute phase: each lane steps its shard's nodes in
+  // ascending id order against its private SendLane. Everything a step
+  // touches is either shard-owned (program, RNG stream, send cursor,
+  // edge→slot cache, messages_per_node[self]) or read-only this phase
+  // (graph, arena + offsets), so lanes run concurrently without locks.
+  auto step_shard = [&](unsigned s) {
+    const ShardRange range = shards_[s];
+    SendLane& lane = lanes_[s];
+    for (NodeId v = range.begin; v < range.end; ++v) {
+      Context ctx(*this, v, lane);
+      if (starting) {
+        programs_[v]->on_start(ctx);
+      } else {
+        programs_[v]->on_round(ctx, inbox_span(v));
+        consume_inbox(v);
+      }
+    }
+  };
+  if (pool_) {
+    pool_->run(step_shard);
+  } else {
+    step_shard(0);
+  }
 }
 
 void Network::deliver_and_advance() {
   // Make this round's sends next round's inboxes.
-  const auto count = static_cast<std::uint64_t>(outbox_.size());
+  std::uint64_t count = 0;
+  for (const auto& lane : lanes_) count += lane.outbox.size();
   if (mode_ == DeliveryMode::LegacyInbox) {
     // Seed delivery path, byte-for-byte: account and move per message.
-    for (auto& m : outbox_) {
+    // Legacy delivery always runs single-lane (begin_if_needed forces it).
+    for (auto& m : lanes_[0].outbox) {
       metrics_.words_total += m.size_hint_words;
       ++metrics_.messages_per_node[m.from];
       inbox_[m.to].push_back(std::move(m));
     }
+    lanes_[0].outbox.clear();
   } else {
-    scatter_outbox();
+    merge_lanes(count);
   }
   metrics_.messages_total += count;
   metrics_.messages_per_round.push_back(count);
   delivered_last_round_ = count;
-  outbox_.clear();
   ++round_;
   metrics_.rounds = round_;
 }
 
-void Network::scatter_outbox() {
-  // Counting sort by destination into the flat arena (counts were kept
-  // by enqueue). Stable, so each node sees messages in global send order
-  // — the same order the legacy per-node push_back produced.
+void Network::merge_lanes(std::uint64_t total) {
+  // Deterministic shard merge into the flat arena, in two steps that touch
+  // each message exactly once (PR 2 measured an extra message pass at
+  // ~25% end-to-end, so the merge must stay offsets-arithmetic + one
+  // relocation):
   //
-  // Offsets are built one slot *shifted* (arena_offsets_[v + 1] = start
-  // of v's range) and used directly as scatter cursors: after the
-  // scatter, slot v + 1 has advanced to end(v) == start(v + 1), i.e. the
-  // array is exactly the final CSR offsets — no second cursor array.
-  FL_REQUIRE(outbox_.size() < std::numeric_limits<std::uint32_t>::max(),
+  //   1. Offsets: walk destinations in order; within a destination, give
+  //      lane s the slot range after lanes < s (counts were kept by
+  //      enqueue). The same pass writes each lane's private scatter
+  //      cursors, zeroes its counts for the next round, and leaves
+  //      arena_offsets_ as the final CSR table directly.
+  //   2. Relocation: every lane scatters its own outbox in send order.
+  //      Cursor ranges are disjoint per (lane, destination), so lanes
+  //      relocate concurrently with no shared writes.
+  //
+  // Send order within a lane is sequential order within its contiguous
+  // shard, and step 1 ordered lanes ascending within each destination, so
+  // per-destination arrival order is bit-identical to the sequential run
+  // — the counting sort is stable across the shard concatenation.
+  FL_REQUIRE(total < std::numeric_limits<std::uint32_t>::max(),
              "more than 2^32 messages in one round");
   const NodeId n = graph_->num_nodes();
   std::uint32_t sum = 0;
   for (NodeId v = 0; v < n; ++v) {
-    const std::uint32_t c = pending_counts_[v];
-    pending_counts_[v] = 0;
-    arena_offsets_[v + 1] = sum;
-    sum += c;
+    arena_offsets_[v] = sum;
+    for (auto& lane : lanes_) {
+      const std::uint32_t c = lane.dest_counts[v];
+      lane.dest_counts[v] = 0;  // ready for next round's enqueues
+      lane.cursors[v] = sum;
+      sum += c;
+    }
   }
-  arena_.resize(outbox_.size());
-  for (auto& m : outbox_) arena_[arena_offsets_[m.to + 1]++] = std::move(m);
+  arena_offsets_[n] = sum;
+  arena_.resize(sum);
+  auto scatter = [&](unsigned s) {
+    SendLane& lane = lanes_[s];
+    for (auto& m : lane.outbox) arena_[lane.cursors[m.to]++] = std::move(m);
+    lane.outbox.clear();
+  };
+  if (pool_) {
+    pool_->run(scatter);
+  } else {
+    scatter(0);
+  }
+  for (auto& lane : lanes_) {
+    metrics_.words_total += lane.words;
+    lane.words = 0;
+  }
 }
 
 void Network::consume_inbox(NodeId v) {
@@ -243,34 +394,14 @@ bool Network::all_done() const {
 
 RunStats Network::run(std::size_t max_rounds) {
   FL_REQUIRE(!programs_.empty(), "install programs before running");
-  const NodeId n = graph_->num_nodes();
-
-  if (!started_) {
-    started_ = true;
-    // One flood over every edge (in both directions) is the canonical
-    // LOCAL round; reserving that footprint up front spares the first big
-    // round ~20 doubling reallocations, each of which re-moves the whole
-    // outbox. Reserve commits address space only — pages a lighter
-    // protocol never touches cost nothing.
-    outbox_.reserve(2 * static_cast<std::size_t>(graph_->num_edges()));
-    for (NodeId v = 0; v < n; ++v) {
-      Context ctx(*this, v);
-      programs_[v]->on_start(ctx);
-    }
-    deliver_and_advance();
-  }
-
+  begin_if_needed();
   RunStats stats;
   while (round_ <= max_rounds) {
     if (!inbox_nonempty() && all_done()) {
       stats.terminated = true;
       break;
     }
-    for (NodeId v = 0; v < n; ++v) {
-      Context ctx(*this, v);
-      programs_[v]->on_round(ctx, inbox_span(v));
-      consume_inbox(v);
-    }
+    step_all_nodes(/*starting=*/false);
     deliver_and_advance();
   }
   stats.rounds = round_;
@@ -280,23 +411,12 @@ RunStats Network::run(std::size_t max_rounds) {
 
 void Network::step(std::size_t rounds) {
   FL_REQUIRE(!programs_.empty(), "install programs before running");
-  const NodeId n = graph_->num_nodes();
   if (!started_) {
-    started_ = true;
-    outbox_.reserve(2 * static_cast<std::size_t>(graph_->num_edges()));
-    for (NodeId v = 0; v < n; ++v) {
-      Context ctx(*this, v);
-      programs_[v]->on_start(ctx);
-    }
-    deliver_and_advance();
+    begin_if_needed();
     if (rounds > 0) --rounds;
   }
   for (std::size_t r = 0; r < rounds; ++r) {
-    for (NodeId v = 0; v < n; ++v) {
-      Context ctx(*this, v);
-      programs_[v]->on_round(ctx, inbox_span(v));
-      consume_inbox(v);
-    }
+    step_all_nodes(/*starting=*/false);
     deliver_and_advance();
   }
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/exec.hpp"
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
 #include "util/rng.hpp"
@@ -79,6 +80,14 @@ class Network {
   void set_delivery_mode(DeliveryMode mode);
   DeliveryMode delivery_mode() const { return mode_; }
 
+  /// Execution parallelism (defaults to FL_SIM_THREADS, else 1); only
+  /// legal before the first round. Results are bit-identical for every
+  /// thread count — the deterministic shard-merge contract (exec.hpp) —
+  /// so this is purely a wall-clock knob. LegacyInbox delivery is the
+  /// sequential seed baseline and always runs single-threaded.
+  void set_parallelism(ParallelConfig par);
+  ParallelConfig parallelism() const { return par_; }
+
   /// Messages delivered to `v` this round, valid until the next round
   /// advances. Exposed for tests; programs receive it via on_round.
   std::span<const Message> inbox_span(graph::NodeId v) const;
@@ -95,10 +104,14 @@ class Network {
  private:
   friend class Context;
 
-  void enqueue(graph::NodeId from, graph::EdgeId edge, Payload payload,
-               std::uint32_t size_hint_words);
+  void enqueue(SendLane& lane, graph::NodeId from, graph::EdgeId edge,
+               Payload payload, std::uint32_t size_hint_words);
+  graph::NodeId resolve_slow(graph::NodeId from, graph::EdgeId edge,
+                             std::span<const graph::Incidence> inc);
+  void begin_if_needed();
+  void step_all_nodes(bool starting);
   void deliver_and_advance();
-  void scatter_outbox();
+  void merge_lanes(std::uint64_t total);
   void consume_inbox(graph::NodeId v);
   bool inbox_nonempty() const;
   bool all_done() const;
@@ -116,24 +129,50 @@ class Network {
   // incident edges in incidence order (flood loops), so enqueue resolves
   // `to` from the node's own incidence list — a sequential, cache-warm
   // read — instead of a random lookup into the global endpoints array.
-  // Arbitrary-edge sends (replies) fall back to the endpoints lookup.
+  // Arbitrary-edge sends fall back to the edge→slot cache below, and only
+  // truly foreign edges reach the endpoints array (to fail the incidence
+  // check with the original diagnostic).
   std::vector<std::uint32_t> send_cursor_;
 
+  // Fallback for senders with a private edge order (distributed_sampler
+  // sorts its incident edges by id): a lazily built per-node index of
+  // (edge id → incidence slot) sorted by edge id, plus a cursor so a
+  // sender sweeping its edges in ascending-id order hits sequentially
+  // after one binary search. Built only for nodes that miss the incidence
+  // cursor repeatedly (isolated misses — one-shot replies — keep the
+  // seed's direct endpoints lookup); node-local, so shard-parallel
+  // stepping never shares an entry.
+  struct EdgeSlotCache {
+    static constexpr std::uint32_t kBuildAfterMisses = 4;
+    std::vector<std::pair<graph::EdgeId, std::uint32_t>> sorted;
+    std::uint32_t cursor = 0;
+    std::uint32_t misses = 0;
+  };
+  std::vector<EdgeSlotCache> slot_cache_;
+
   DeliveryMode mode_ = DeliveryMode::FlatArena;
+
+  // Parallel execution (exec.hpp): nodes are split into contiguous shards,
+  // one SendLane per shard; lane 0 doubles as the sequential outbox. The
+  // pool exists only when the effective shard count exceeds 1. Shards and
+  // lanes are finalized by begin_if_needed() from par_ and mode_.
+  ParallelConfig par_;
+  std::vector<ShardRange> shards_;
+  std::vector<SendLane> lanes_;
+  std::unique_ptr<ExecPool> pool_;
 
   // FlatArena storage: this round's deliveries, counting-sorted by
   // destination. Node v's inbox is arena_[arena_offsets_[v] ..
   // arena_offsets_[v + 1]). Rebuilt in place each round; per-destination
-  // counts are maintained incrementally by enqueue() so delivery needs no
-  // counting pass over the outbox. 32-bit offsets keep the randomly
-  // accessed side arrays half the size (a round is capped well below 2^32
-  // messages — deliver_and_advance enforces it before sorting).
+  // counts are maintained incrementally by enqueue() in the sending lane
+  // (SendLane::dest_counts), so the merge needs no counting pass over the
+  // outboxes — offsets arithmetic plus one relocation pass. 32-bit offsets
+  // keep the randomly accessed side arrays half the size (a round is
+  // capped well below 2^32 messages — merge_lanes enforces it).
   std::vector<Message> arena_;
   std::vector<std::uint32_t> arena_offsets_;   // size n + 1 once running
-  std::vector<std::uint32_t> pending_counts_;  // per-destination, this round
 
   std::vector<std::vector<Message>> inbox_;    // LegacyInbox storage
-  std::vector<Message> outbox_;                // sent this round
   // Messages moved to inboxes by the last deliver_and_advance — the
   // quiescence test, O(1) in both modes (the LegacyInbox path used to
   // rescan all n inbox vectors per round).

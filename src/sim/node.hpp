@@ -30,11 +30,21 @@ enum class Knowledge {
 };
 
 class Network;
+struct SendLane;
 
 /// Per-node view of the network handed to programs each round.
+///
+/// A Context is bound to the execution lane stepping the node this round:
+/// sends land in that lane's private outbox, so parallel shard stepping
+/// (see exec.hpp) never contends on shared send state. The two-argument
+/// form resolves the network's lane 0 at each send (never caching the
+/// lane), so it stays valid across the lane re-partition at run start.
 class Context {
  public:
-  Context(Network& net, graph::NodeId self);
+  Context(Network& net, graph::NodeId self)
+      : net_(&net), self_(self), lane_(nullptr) {}
+  Context(Network& net, graph::NodeId self, SendLane& lane)
+      : net_(&net), self_(self), lane_(&lane) {}
 
   graph::NodeId self() const { return self_; }
   std::size_t degree() const;
@@ -70,6 +80,7 @@ class Context {
  private:
   Network* net_;
   graph::NodeId self_;
+  SendLane* lane_;  ///< stepping lane; null = resolve lane 0 per send
 };
 
 /// Base class for protocols. One instance per node.
