@@ -3,8 +3,9 @@
 // quantities — the model quantities live in bench_e1..e10.
 //
 // Two sections:
-//   * a delivery-throughput sweep over the simulator's two inbox layouts
-//     (flat arena vs legacy per-node vectors), run when any of the common
+//   * a delivery-throughput sweep over the simulator's round engine —
+//     sequential vs `--threads N` execution lanes, across dense, sparse
+//     and skewed (power-law) graph families — run when any of the common
 //     bench flags (--delivery, --json, --csv, --quick, --seed) is present;
 //     --json emits the machine-readable record that the BENCH_*.json
 //     trajectory tracking consumes;
@@ -156,16 +157,14 @@ struct DeliveryResult {
 };
 
 DeliveryResult run_delivery(const graph::Graph& g, unsigned rounds,
-                            sim::DeliveryMode mode, std::uint64_t seed,
-                            unsigned threads = 1) {
+                            std::uint64_t seed, unsigned threads = 1) {
   sim::Network net(g, sim::Knowledge::EdgeIds, seed);
-  net.set_delivery_mode(mode);
   net.set_parallelism({threads});
   net.install_all<FloodRounds>(rounds);
-  // Timed region = net.run() only: delivery plus whatever storage growth the
-  // mode incurs inside the run (the legacy path grows its per-node inbox
-  // vectors during the first round). Network construction and program
-  // install are identical across modes and excluded.
+  // Timed region = net.run() only: the full phase pipeline (step shards,
+  // merge lanes, quiesce checks) including any storage growth inside the
+  // run. Network construction and program install are identical across
+  // configurations and excluded.
   DeliveryResult res;
   util::Timer timer;
   res.stats = net.run(static_cast<std::size_t>(rounds) + 4);
@@ -180,23 +179,14 @@ struct SweepRow {
   std::string family;
   std::uint64_t edges = 0;
   unsigned threads = 1;   ///< thread count of the parallel (flat_mt) column
-  DeliveryResult flat;    ///< flat arena, sequential (1 thread)
-  DeliveryResult flat_mt; ///< flat arena, `threads` execution lanes
-  DeliveryResult legacy;
+  DeliveryResult flat;    ///< sequential (1 lane)
+  DeliveryResult flat_mt; ///< `threads` execution lanes
 
   bool stats_match() const {
-    auto same = [&](const DeliveryResult& other) {
-      return flat.stats.rounds == other.stats.rounds &&
-             flat.stats.messages == other.stats.messages &&
-             flat.stats.terminated == other.stats.terminated &&
-             flat.checksum == other.checksum;
-    };
-    return same(legacy) && same(flat_mt);
-  }
-  double speedup() const {
-    return legacy.msgs_per_sec() > 0.0
-               ? flat.msgs_per_sec() / legacy.msgs_per_sec()
-               : 0.0;
+    return flat.stats.rounds == flat_mt.stats.rounds &&
+           flat.stats.messages == flat_mt.stats.messages &&
+           flat.stats.terminated == flat_mt.stats.terminated &&
+           flat.checksum == flat_mt.checksum;
   }
   double parallel_speedup() const {
     return flat.msgs_per_sec() > 0.0
@@ -205,21 +195,16 @@ struct SweepRow {
   }
 };
 
-/// Best-of-`reps` timing for all three configurations, interleaving the
-/// runs so machine drift hits every side equally.
-void best_of_triple(const graph::Graph& g, unsigned rounds, std::uint64_t seed,
-                    SweepRow& row) {
+/// Best-of-`reps` timing for both configurations, interleaving the runs so
+/// machine drift hits every side equally.
+void best_of_pair(const graph::Graph& g, unsigned rounds, std::uint64_t seed,
+                  SweepRow& row) {
   const int reps = 7;
   for (int r = 0; r < reps; ++r) {
-    DeliveryResult flat =
-        run_delivery(g, rounds, sim::DeliveryMode::FlatArena, seed);
-    DeliveryResult flat_mt = run_delivery(
-        g, rounds, sim::DeliveryMode::FlatArena, seed, row.threads);
-    DeliveryResult legacy =
-        run_delivery(g, rounds, sim::DeliveryMode::LegacyInbox, seed);
+    DeliveryResult flat = run_delivery(g, rounds, seed);
+    DeliveryResult flat_mt = run_delivery(g, rounds, seed, row.threads);
     if (r == 0 || flat.seconds < row.flat.seconds) row.flat = flat;
     if (r == 0 || flat_mt.seconds < row.flat_mt.seconds) row.flat_mt = flat_mt;
-    if (r == 0 || legacy.seconds < row.legacy.seconds) row.legacy = legacy;
   }
 }
 
@@ -227,26 +212,33 @@ std::vector<SweepRow> run_delivery_sweep(const bench::Env& env,
                                          unsigned threads) {
   // Two send-rounds per run matches the repo's workloads: tlocal_broadcast
   // (E8 sweeps t ∈ {1, 2, 4}) builds a fresh Network per short protocol
-  // run, so the legacy path's first-round inbox growth is not amortized
-  // over a long run — that churn is part of what delivery throughput means
-  // here.
+  // run, so first-round storage growth is not amortized over a long run —
+  // that churn is part of what delivery throughput means here.
+  //
+  // Three families: dense (ER, avg degree 16), sparse (random tree), and
+  // skewed (Barabási–Albert, avg degree ≈ 16 with power-law hubs) — the
+  // skewed rows exercise the degree-weighted shard balancing that uniform
+  // families cannot distinguish from ShardBalance::Uniform.
   const unsigned rounds = 2;
   std::vector<graph::NodeId> sizes{1000, 10000, 100000};
   if (env.quick) sizes = {1000, 10000};
 
   std::vector<SweepRow> rows;
   for (const graph::NodeId n : sizes) {
-    for (const bool dense : {true, false}) {
-      util::Xoshiro256 rng(env.seed + n + (dense ? 1 : 0));
+    for (const char* family : {"dense", "sparse", "skewed"}) {
+      const bool dense = std::string(family) == "dense";
+      const bool skewed = std::string(family) == "skewed";
+      util::Xoshiro256 rng(env.seed + n + (dense ? 1 : 0) + (skewed ? 2 : 0));
       const graph::Graph g =
-          dense ? graph::erdos_renyi_gnm(n, 8ull * n, rng)
-                : graph::random_tree(n, rng);
+          dense    ? graph::erdos_renyi_gnm(n, 8ull * n, rng)
+          : skewed ? graph::barabasi_albert(n, 8, rng)
+                   : graph::random_tree(n, rng);
       SweepRow row;
       row.n = n;
-      row.family = dense ? "dense" : "sparse";
+      row.family = family;
       row.edges = g.num_edges();
       row.threads = threads;
-      best_of_triple(g, rounds, env.seed, row);
+      best_of_pair(g, rounds, env.seed, row);
       rows.push_back(std::move(row));
     }
   }
@@ -266,14 +258,12 @@ void emit_delivery_json(const std::vector<SweepRow>& rows,
         "    {\"n\": %u, \"family\": \"%s\", \"edges\": %llu, "
         "\"rounds\": %zu, \"messages\": %llu, \"threads\": %u, "
         "\"flat_msgs_per_sec\": %.0f, \"flat_mt_msgs_per_sec\": %.0f, "
-        "\"legacy_msgs_per_sec\": %.0f, "
-        "\"flat_over_legacy\": %.3f, \"mt_over_flat\": %.3f, "
+        "\"mt_over_flat\": %.3f, "
         "\"stats_match\": %s}%s\n",
         r.n, r.family.c_str(), static_cast<unsigned long long>(r.edges),
         r.flat.stats.rounds,
         static_cast<unsigned long long>(r.flat.stats.messages), r.threads,
-        r.flat.msgs_per_sec(), r.flat_mt.msgs_per_sec(),
-        r.legacy.msgs_per_sec(), r.speedup(), r.parallel_speedup(),
+        r.flat.msgs_per_sec(), r.flat_mt.msgs_per_sec(), r.parallel_speedup(),
         r.stats_match() ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
   }
@@ -286,21 +276,18 @@ int run_delivery_bench(const bench::Env& env, unsigned threads) {
     emit_delivery_json(rows, env);
   } else {
     util::Table table({"n", "family", "edges", "rounds", "messages",
-                       "flat Mmsg/s", "flat@T Mmsg/s", "legacy Mmsg/s",
-                       "flat/legacy", "T/1", "stats match?"});
+                       "flat Mmsg/s", "flat@T Mmsg/s", "T/1",
+                       "stats match?"});
     for (const SweepRow& r : rows) {
       table.add(static_cast<std::size_t>(r.n), r.family,
                 static_cast<unsigned long long>(r.edges), r.flat.stats.rounds,
                 static_cast<unsigned long long>(r.flat.stats.messages),
                 util::fixed(r.flat.msgs_per_sec() / 1e6, 2),
                 util::fixed(r.flat_mt.msgs_per_sec() / 1e6, 2),
-                util::fixed(r.legacy.msgs_per_sec() / 1e6, 2),
-                util::fixed(r.speedup(), 3),
                 util::fixed(r.parallel_speedup(), 3), r.stats_match());
     }
-    env.emit(table, "Delivery throughput: flat arena (1 and " +
-                        std::to_string(threads) +
-                        " threads) vs legacy inboxes");
+    env.emit(table, "Delivery throughput: flat arena at 1 and " +
+                        std::to_string(threads) + " execution lanes");
   }
   // Identical counts are part of the contract, not just a report column.
   for (const SweepRow& r : rows)
@@ -324,7 +311,7 @@ int main(int argc, char** argv) {
       }();
   if (delivery_section) {
     // --threads N sets the parallel column's lane count (default 8); the
-    // sequential flat and legacy columns always run single-threaded.
+    // sequential flat column always runs single-threaded.
     const fl::util::Options opt(argc, argv);
     const std::int64_t threads = opt.get_int("threads", 8);
     FL_REQUIRE(threads >= 1 && threads <= 1024,

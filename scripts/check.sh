@@ -3,8 +3,8 @@
 #   configure -> build -> ctest -> one quick bench smoke.
 # Usage: scripts/check.sh [build-dir]   (default: build)
 # Extra configure flags (e.g. -DFL_WERROR=ON) can be passed via the
-# FL_CMAKE_ARGS environment variable; FL_SIM_LEGACY_INBOX=1 exercises the
-# legacy delivery path end to end.
+# FL_CMAKE_ARGS environment variable; FL_SIM_THREADS=N runs everything on
+# the parallel round engine (results are bit-identical by contract).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,11 +17,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
 # Bench smoke: the delivery-throughput sweep at quick sizes, JSON teed into
 # the per-PR trajectory snapshot at the repo root. Exits nonzero if the
-# flat (sequential and parallel) and legacy delivery paths ever disagree on
-# RunStats, so CI catches semantic drift, not just crashes. The committed
-# BENCH_micro_perf.json is this same quick record, so bench_diff below has
-# a matching baseline; FL_BENCH_FULL=1 additionally refreshes the tracked
-# full-sweep record (adds the n=100k rows — a couple of minutes).
+# sequential and parallel engines ever disagree on RunStats, so CI catches
+# semantic drift, not just crashes. The committed BENCH_micro_perf.json is
+# this same quick record, so bench_diff below has a matching baseline;
+# FL_BENCH_FULL=1 additionally refreshes the tracked full-sweep record
+# (adds the n=100k rows — a couple of minutes).
 "$BUILD_DIR"/bench/bench_micro_perf --quick --json | tee BENCH_micro_perf.json
 if [ -n "${FL_BENCH_FULL:-}" ]; then
   "$BUILD_DIR"/bench/bench_micro_perf --delivery --json | tee BENCH_micro_perf_full.json

@@ -862,14 +862,12 @@ Schedule Schedule::build(const SamplerConfig& cfg) {
 // ---------------------------------------------------------------- driver
 
 DistributedSpannerRun run_distributed_sampler(const graph::Graph& g,
-                                              const SamplerConfig& cfg,
-                                              sim::DeliveryMode delivery) {
+                                              const SamplerConfig& cfg) {
   cfg.validate(g.num_nodes());
   const auto schedule = std::make_shared<const Schedule>(Schedule::build(cfg));
   const double n0 = g.num_nodes();
 
   sim::Network net(g, sim::Knowledge::EdgeIds, cfg.seed);
-  net.set_delivery_mode(delivery);
   net.install([&](NodeId v) {
     return std::make_unique<SamplerNode>(v, schedule, cfg, n0);
   });

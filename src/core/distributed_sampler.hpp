@@ -108,11 +108,8 @@ struct DistributedSpannerRun {
 };
 
 /// Build and run the distributed Sampler on `g`. The network is created
-/// internally with Knowledge::EdgeIds (the paper's model). `delivery`
-/// selects the simulator's inbox storage — results are identical either
-/// way; the knob exists for A/B perf comparison.
+/// internally with Knowledge::EdgeIds (the paper's model).
 DistributedSpannerRun run_distributed_sampler(
-    const graph::Graph& g, const SamplerConfig& cfg,
-    sim::DeliveryMode delivery = sim::default_delivery_mode());
+    const graph::Graph& g, const SamplerConfig& cfg);
 
 }  // namespace fl::core

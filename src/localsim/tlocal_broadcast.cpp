@@ -110,15 +110,13 @@ std::vector<EdgeId> all_edges(const Graph& g) {
 
 BroadcastRun run_tlocal_broadcast(const Graph& g,
                                   const std::vector<EdgeId>& edges,
-                                  unsigned rounds, std::uint64_t seed,
-                                  sim::DeliveryMode delivery) {
+                                  unsigned rounds, std::uint64_t seed) {
   auto edge_in = std::make_shared<std::vector<bool>>(g.num_edges(), false);
   for (const EdgeId e : edges) {
     FL_REQUIRE(e < g.num_edges(), "broadcast edge id out of range");
     (*edge_in)[e] = true;
   }
   sim::Network net(g, sim::Knowledge::EdgeIds, seed);
-  net.set_delivery_mode(delivery);
   net.install([&](NodeId v) {
     return std::make_unique<FloodNode>(v, edge_in, rounds, g.num_nodes());
   });

@@ -27,12 +27,10 @@ struct BroadcastRun {
 };
 
 /// Flood origin ids for `rounds` rounds over the subgraph given by `edges`
-/// (pass all edge ids for G itself). Every node is an origin. `delivery`
-/// selects the simulator's inbox storage (identical results either way).
+/// (pass all edge ids for G itself). Every node is an origin.
 BroadcastRun run_tlocal_broadcast(
     const graph::Graph& g, const std::vector<graph::EdgeId>& edges,
-    unsigned rounds, std::uint64_t seed,
-    sim::DeliveryMode delivery = sim::default_delivery_mode());
+    unsigned rounds, std::uint64_t seed);
 
 /// Convenience: all edges of g (the native Θ(t·m) variant).
 std::vector<graph::EdgeId> all_edges(const graph::Graph& g);

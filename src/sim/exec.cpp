@@ -1,5 +1,6 @@
 #include "sim/exec.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -8,14 +9,27 @@
 namespace fl::sim {
 
 ParallelConfig default_parallel_config() {
+  ParallelConfig cfg;
   const char* env = std::getenv("FL_SIM_THREADS");
-  if (env == nullptr || *env == '\0') return {};
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  FL_REQUIRE(end != nullptr && *end == '\0' && v >= 1,
-             "FL_SIM_THREADS must be a positive integer");
-  FL_REQUIRE(v <= 1024, "FL_SIM_THREADS capped at 1024");
-  return {static_cast<unsigned>(v)};
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    FL_REQUIRE(end != nullptr && *end == '\0' && v >= 1,
+               "FL_SIM_THREADS must be a positive integer");
+    FL_REQUIRE(v <= 1024, "FL_SIM_THREADS capped at 1024");
+    cfg.threads = static_cast<unsigned>(v);
+  }
+  const char* bal = std::getenv("FL_SIM_BALANCE");
+  if (bal != nullptr && *bal != '\0') {
+    if (std::strcmp(bal, "uniform") == 0) {
+      cfg.balance = ShardBalance::Uniform;
+    } else {
+      FL_REQUIRE(std::strcmp(bal, "degree") == 0,
+                 "FL_SIM_BALANCE must be 'degree' or 'uniform'");
+      cfg.balance = ShardBalance::Degree;
+    }
+  }
+  return cfg;
 }
 
 std::vector<ShardRange> partition_nodes(graph::NodeId n, unsigned shards) {
@@ -31,6 +45,41 @@ std::vector<ShardRange> partition_nodes(graph::NodeId n, unsigned shards) {
     const graph::NodeId size = base + (s < extra ? 1 : 0);
     ranges[s] = {begin, begin + size};
     begin += size;
+  }
+  return ranges;
+}
+
+std::vector<ShardRange> partition_nodes(graph::NodeId n, unsigned shards,
+                                        std::span<const std::uint64_t> weights) {
+  FL_REQUIRE(n >= 1, "cannot partition an empty node set");
+  FL_REQUIRE(weights.size() == n, "one weight per node");
+  if (shards < 1) shards = 1;
+  const auto k = static_cast<graph::NodeId>(shards < n ? shards : n);
+  if (k == 1) return {{0, n}};
+  // prefix[i] = total weight of nodes [0, i). Total weight is bounded by
+  // n + 2m (Degree weighting), far below the overflow point of the
+  // target multiplication below.
+  std::vector<std::uint64_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (graph::NodeId v = 0; v < n; ++v) prefix[v + 1] = prefix[v] + weights[v];
+  const std::uint64_t total = prefix[n];
+
+  std::vector<ShardRange> ranges(k);
+  graph::NodeId begin = 0;
+  for (graph::NodeId s = 0; s < k; ++s) {
+    graph::NodeId end = n;
+    if (s + 1 < k) {
+      // Ideal cut: the first index whose covered weight reaches the
+      // (s+1)/k mark, clamped so this shard takes at least one node and
+      // leaves at least one per remaining shard.
+      const std::uint64_t target = total * (s + 1) / k;
+      const auto it = std::lower_bound(prefix.begin() + begin + 1,
+                                       prefix.begin() + n, target);
+      end = static_cast<graph::NodeId>(it - prefix.begin());
+      end = std::min(end, n - (k - 1 - s));
+      end = std::max(end, begin + 1);
+    }
+    ranges[s] = {begin, end};
+    begin = end;
   }
   return ranges;
 }

@@ -30,6 +30,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -38,14 +39,30 @@
 
 namespace fl::sim {
 
+/// How nodes are apportioned to shards. Delivery order is bit-identical
+/// either way (shards are always contiguous ascending id ranges and the
+/// merge is stable across them) — this only moves the shard boundaries.
+enum class ShardBalance : std::uint8_t {
+  /// Equal node counts per shard.
+  Uniform,
+  /// Equal incident-degree weight per shard (weight deg(v) + 1, so
+  /// isolated nodes still count as one step). A round's per-node work is
+  /// dominated by sends and inbox length — both proportional to degree —
+  /// so skewed graphs (power-law, star, lollipop) get balanced lanes
+  /// where Uniform would hand one shard all the hubs.
+  Degree,
+};
+
 /// Execution-parallelism knob threaded through Network. threads == 1 is
 /// plain sequential stepping (no pool, no extra barriers).
 struct ParallelConfig {
   unsigned threads = 1;
+  ShardBalance balance = ShardBalance::Degree;
 };
 
 /// ParallelConfig{FL_SIM_THREADS} when the environment variable is set to a
-/// positive integer; ParallelConfig{1} otherwise.
+/// positive integer; ParallelConfig{1} otherwise. FL_SIM_BALANCE=uniform
+/// selects ShardBalance::Uniform (default: degree).
 ParallelConfig default_parallel_config();
 
 /// A contiguous node-id range [begin, end) owned by one execution lane.
@@ -63,17 +80,30 @@ struct ShardRange {
 /// n >= 1); sizes differ by at most one, larger shards first.
 std::vector<ShardRange> partition_nodes(graph::NodeId n, unsigned shards);
 
-/// Per-lane send buffer. During a round each lane appends to its own
-/// outbox; under FlatArena delivery it also counts messages per destination
-/// and accumulates the words metric, so stepping touches no shared
-/// counters. At the merge the offsets walk converts counts into the lane's
-/// scatter cursors (zeroing the counts in the same pass, so delivery adds
-/// no extra O(n) sweep).
+/// Weighted variant (ShardBalance::Degree): cut [0, n) so every shard
+/// carries roughly total_weight / k, k = min(shards, n). `weights` holds
+/// one non-negative weight per node; cuts sit where the weight prefix sum
+/// crosses the s/k marks, clamped so every shard keeps at least one node
+/// (a single huge-weight node gets a singleton shard; trailing shards are
+/// never starved below one node each).
+std::vector<ShardRange> partition_nodes(graph::NodeId n, unsigned shards,
+                                        std::span<const std::uint64_t> weights);
+
+/// Per-lane execution state. During a round each lane appends sends to its
+/// own outbox, counts messages per destination, and accumulates the words
+/// metric, so stepping touches no shared counters. At the merge the offsets
+/// walk converts counts into the lane's scatter cursors (zeroing the counts
+/// in the same pass, so delivery adds no extra O(n) sweep). `done_count` is
+/// the number of currently-done nodes in the lane's shard, maintained by
+/// transition (±1 when a node's done() answer flips) as nodes are stepped —
+/// the engine's quiesce check sums S of these instead of scanning n
+/// programs.
 struct SendLane {
   std::vector<Message> outbox;
-  std::vector<std::uint32_t> dest_counts;  // FlatArena only; size n
-  std::vector<std::uint32_t> cursors;      // FlatArena only; size n
+  std::vector<std::uint32_t> dest_counts;  // size n
+  std::vector<std::uint32_t> cursors;      // size n
   std::uint64_t words = 0;
+  std::int64_t done_count = 0;
 };
 
 /// Persistent worker pool executing one job per lane with a barrier.

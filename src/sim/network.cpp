@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -13,13 +11,6 @@ namespace fl::sim {
 
 using graph::EdgeId;
 using graph::NodeId;
-
-DeliveryMode default_delivery_mode() {
-  const char* env = std::getenv("FL_SIM_LEGACY_INBOX");
-  if (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0)
-    return DeliveryMode::LegacyInbox;
-  return DeliveryMode::FlatArena;
-}
 
 // ---------------------------------------------------------------- Context
 
@@ -66,7 +57,7 @@ util::Xoshiro256& Context::rng() { return net_->node_rngs_[self_]; }
 Network::Network(const graph::Graph& graph, Knowledge knowledge,
                  std::uint64_t seed)
     : graph_(&graph), knowledge_(knowledge), streams_(seed),
-      mode_(default_delivery_mode()), par_(default_parallel_config()) {
+      par_(default_parallel_config()) {
   const NodeId n = graph.num_nodes();
   FL_REQUIRE(n >= 1, "network needs at least one node");
   log_n_bound_ = std::log2(std::max<double>(2.0, n));
@@ -74,17 +65,14 @@ Network::Network(const graph::Graph& graph, Knowledge knowledge,
   incident_edges_.resize(n);
   send_cursor_.assign(n, 0);
   slot_cache_.resize(n);
+  done_state_.assign(n, 0);
+  arena_offsets_.assign(n + 1, 0);
   // Lane 0 exists (fully sized) from construction so sends through a
   // pre-run Context land correctly; begin_if_needed may add more lanes.
   lanes_.resize(1);
+  lanes_[0].dest_counts.assign(n, 0);
+  lanes_[0].cursors.assign(n, 0);
   node_rngs_.reserve(n);
-  if (mode_ == DeliveryMode::LegacyInbox) {
-    inbox_.resize(n);
-  } else {
-    arena_offsets_.assign(n + 1, 0);
-    lanes_[0].dest_counts.assign(n, 0);
-    lanes_[0].cursors.assign(n, 0);
-  }
   for (NodeId v = 0; v < n; ++v) {
     const auto inc = graph.incident(v);
     incident_edges_[v].reserve(inc.size());
@@ -100,24 +88,6 @@ void Network::set_log_n_bound(double bound) {
   log_n_bound_ = bound;
 }
 
-void Network::set_delivery_mode(DeliveryMode mode) {
-  FL_REQUIRE(!started_, "cannot change delivery mode after the run started");
-  if (mode == mode_) return;
-  mode_ = mode;
-  if (mode_ == DeliveryMode::LegacyInbox) {
-    inbox_.resize(graph_->num_nodes());
-    std::vector<Message>().swap(arena_);
-    std::vector<std::uint32_t>().swap(arena_offsets_);
-    std::vector<std::uint32_t>().swap(lanes_[0].dest_counts);
-    std::vector<std::uint32_t>().swap(lanes_[0].cursors);
-  } else {
-    std::vector<std::vector<Message>>().swap(inbox_);
-    arena_offsets_.assign(graph_->num_nodes() + 1, 0);
-    lanes_[0].dest_counts.assign(graph_->num_nodes(), 0);
-    lanes_[0].cursors.assign(graph_->num_nodes(), 0);
-  }
-}
-
 void Network::set_parallelism(ParallelConfig par) {
   FL_REQUIRE(!started_, "cannot change parallelism after the run started");
   FL_REQUIRE(par.threads >= 1, "parallelism needs at least one thread");
@@ -129,7 +99,6 @@ void Network::set_parallelism(ParallelConfig par) {
 
 std::span<const Message> Network::inbox_span(NodeId v) const {
   FL_REQUIRE(v < graph_->num_nodes(), "node id out of range");
-  if (mode_ == DeliveryMode::LegacyInbox) return inbox_[v];
   return {arena_.data() + arena_offsets_[v],
           arena_offsets_[v + 1] - arena_offsets_[v]};
 }
@@ -227,33 +196,37 @@ void Network::enqueue(SendLane& lane, NodeId from, EdgeId edge,
   m.to = to;
   m.payload = std::move(payload);
   m.size_hint_words = size_hint_words;
-  if (mode_ == DeliveryMode::FlatArena) {
-    // Flat-arena path: per-message accounting happens here rather than at
-    // delivery — every enqueued message is delivered exactly once next
-    // round, so the totals are identical and delivery stays a pure
-    // data-movement pass. All of it is lane- or sender-local (the sender
-    // belongs to the stepping shard), so parallel stepping never contends:
-    // words go to the lane, counts to the lane's per-destination array,
-    // and messages_per_node is indexed by the sender. (The legacy path
-    // keeps the seed's accounting-at-delivery loop so FL_SIM_LEGACY_INBOX
-    // reproduces the seed baseline.)
-    lane.words += m.size_hint_words;
-    ++metrics_.messages_per_node[m.from];
-    ++lane.dest_counts[m.to];
-  }
+  // Per-message accounting happens here rather than at delivery — every
+  // enqueued message is delivered exactly once next round, so the totals
+  // are identical and the merge stays a pure data-movement pass. All of it
+  // is lane- or sender-local (the sender belongs to the stepping shard),
+  // so parallel stepping never contends: words go to the lane, counts to
+  // the lane's per-destination array, and messages_per_node is indexed by
+  // the sender.
+  lane.words += m.size_hint_words;
+  ++metrics_.messages_per_node[m.from];
+  ++lane.dest_counts[m.to];
   lane.outbox.push_back(std::move(m));
 }
 
 void Network::begin_if_needed() {
-  // Shared run()/step() preamble: finalize the execution plan from mode_
-  // and par_, run every node's on_start, deliver round 0's sends.
+  // Shared run()/step() preamble: finalize the execution plan from par_,
+  // run every node's on_start, deliver round 0's sends.
   if (started_) return;
   started_ = true;
   const NodeId n = graph_->num_nodes();
-  const unsigned want =
-      (mode_ == DeliveryMode::LegacyInbox) ? 1 : par_.threads;
-  shards_ = partition_nodes(n, want);
+  if (par_.threads > 1 && par_.balance == ShardBalance::Degree) {
+    // Degree-weighted cuts: a node's per-round cost is dominated by its
+    // sends and inbox, both proportional to its degree; + 1 so isolated
+    // nodes still count as one program step.
+    std::vector<std::uint64_t> weights(n);
+    for (NodeId v = 0; v < n; ++v) weights[v] = graph_->degree(v) + 1;
+    shards_ = partition_nodes(n, par_.threads, weights);
+  } else {
+    shards_ = partition_nodes(n, par_.threads);
+  }
   lanes_.resize(shards_.size());
+  chunk_weight_.assign(shards_.size(), 0);
   // One flood over every edge (in both directions) is the canonical LOCAL
   // round; reserving that footprint up front spares the first big round
   // ~20 doubling reallocations, each of which re-moves the whole outbox.
@@ -264,23 +237,26 @@ void Network::begin_if_needed() {
     lane.outbox.reserve(flood / lanes_.size() + 16);
     // Lane 0 is already sized — and may hold counts from pre-run sends,
     // which must survive into the first merge.
-    if (mode_ == DeliveryMode::FlatArena && lane.dest_counts.size() != n) {
+    if (lane.dest_counts.size() != n) {
       lane.dest_counts.assign(n, 0);
       lane.cursors.assign(n, 0);
     }
   }
   if (lanes_.size() > 1) pool_ = std::make_unique<ExecPool>(
       static_cast<unsigned>(lanes_.size()));
-  step_all_nodes(/*starting=*/true);
-  deliver_and_advance();
+  phase_step(/*starting=*/true);
+  phase_merge();
 }
 
-void Network::step_all_nodes(bool starting) {
-  // One round's compute phase: each lane steps its shard's nodes in
-  // ascending id order against its private SendLane. Everything a step
-  // touches is either shard-owned (program, RNG stream, send cursor,
-  // edge→slot cache, messages_per_node[self]) or read-only this phase
-  // (graph, arena + offsets), so lanes run concurrently without locks.
+void Network::phase_step(bool starting) {
+  // Phase 1 — step shards. Each lane steps its shard's nodes in ascending
+  // id order against its private SendLane. Everything a step touches is
+  // either shard-owned (program, RNG stream, send cursor, edge→slot
+  // cache, messages_per_node[self], done_state_[self]) or read-only this
+  // phase (graph, arena + offsets), so lanes run concurrently without
+  // locks. The done() re-read happens here, immediately after the step —
+  // the only place done-state can change — keeping the quiesce phase free
+  // of any per-node work.
   auto step_shard = [&](unsigned s) {
     const ShardRange range = shards_[s];
     SendLane& lane = lanes_[s];
@@ -290,8 +266,10 @@ void Network::step_all_nodes(bool starting) {
         programs_[v]->on_start(ctx);
       } else {
         programs_[v]->on_round(ctx, inbox_span(v));
-        consume_inbox(v);
       }
+      const std::uint8_t now = programs_[v]->done() ? 1 : 0;
+      lane.done_count += static_cast<int>(now) - static_cast<int>(done_state_[v]);
+      done_state_[v] = now;
     }
   };
   if (pool_) {
@@ -301,22 +279,11 @@ void Network::step_all_nodes(bool starting) {
   }
 }
 
-void Network::deliver_and_advance() {
-  // Make this round's sends next round's inboxes.
+void Network::phase_merge() {
+  // Phase 2 — merge lanes: this round's sends become next round's inboxes.
   std::uint64_t count = 0;
   for (const auto& lane : lanes_) count += lane.outbox.size();
-  if (mode_ == DeliveryMode::LegacyInbox) {
-    // Seed delivery path, byte-for-byte: account and move per message.
-    // Legacy delivery always runs single-lane (begin_if_needed forces it).
-    for (auto& m : lanes_[0].outbox) {
-      metrics_.words_total += m.size_hint_words;
-      ++metrics_.messages_per_node[m.from];
-      inbox_[m.to].push_back(std::move(m));
-    }
-    lanes_[0].outbox.clear();
-  } else {
-    merge_lanes(count);
-  }
+  merge_lanes(count);
   metrics_.messages_total += count;
   metrics_.messages_per_round.push_back(count);
   delivered_last_round_ = count;
@@ -332,9 +299,14 @@ void Network::merge_lanes(std::uint64_t total) {
   //
   //   1. Offsets: walk destinations in order; within a destination, give
   //      lane s the slot range after lanes < s (counts were kept by
-  //      enqueue). The same pass writes each lane's private scatter
+  //      enqueue). The same walk writes each lane's private scatter
   //      cursors, zeroes its counts for the next round, and leaves
-  //      arena_offsets_ as the final CSR table directly.
+  //      arena_offsets_ as the final CSR table directly. With a pool the
+  //      walk runs chunk-parallel over the node shards: each chunk totals
+  //      its counts, a sequential O(S) exclusive prefix over the chunk
+  //      totals seeds each chunk's base offset, and a second chunked pass
+  //      lays out offsets + cursors from those bases — the resulting
+  //      arithmetic is identical to the sequential walk.
   //   2. Relocation: every lane scatters its own outbox in send order.
   //      Cursor ranges are disjoint per (lane, destination), so lanes
   //      relocate concurrently with no shared writes.
@@ -346,18 +318,51 @@ void Network::merge_lanes(std::uint64_t total) {
   FL_REQUIRE(total < std::numeric_limits<std::uint32_t>::max(),
              "more than 2^32 messages in one round");
   const NodeId n = graph_->num_nodes();
-  std::uint32_t sum = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    arena_offsets_[v] = sum;
-    for (auto& lane : lanes_) {
-      const std::uint32_t c = lane.dest_counts[v];
-      lane.dest_counts[v] = 0;  // ready for next round's enqueues
-      lane.cursors[v] = sum;
-      sum += c;
+  if (!pool_) {
+    std::uint32_t sum = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      arena_offsets_[v] = sum;
+      for (auto& lane : lanes_) {
+        const std::uint32_t c = lane.dest_counts[v];
+        lane.dest_counts[v] = 0;  // ready for next round's enqueues
+        lane.cursors[v] = sum;
+        sum += c;
+      }
     }
+    arena_offsets_[n] = sum;
+  } else {
+    // Chunk c owns destination range shards_[c]; it only touches
+    // dest_counts/cursors entries inside that range (across all lanes),
+    // so the two chunked passes share no writable state between chunks.
+    pool_->run([&](unsigned c) {
+      const ShardRange range = shards_[c];
+      std::uint64_t w = 0;
+      for (NodeId v = range.begin; v < range.end; ++v)
+        for (const auto& lane : lanes_) w += lane.dest_counts[v];
+      chunk_weight_[c] = w;
+    });
+    std::uint64_t base = 0;
+    for (auto& w : chunk_weight_) {
+      const std::uint64_t c = w;
+      w = base;
+      base += c;
+    }
+    pool_->run([&](unsigned c) {
+      const ShardRange range = shards_[c];
+      auto sum = static_cast<std::uint32_t>(chunk_weight_[c]);
+      for (NodeId v = range.begin; v < range.end; ++v) {
+        arena_offsets_[v] = sum;
+        for (auto& lane : lanes_) {
+          const std::uint32_t cnt = lane.dest_counts[v];
+          lane.dest_counts[v] = 0;
+          lane.cursors[v] = sum;
+          sum += cnt;
+        }
+      }
+    });
+    arena_offsets_[n] = static_cast<std::uint32_t>(total);
   }
-  arena_offsets_[n] = sum;
-  arena_.resize(sum);
+  arena_.resize(static_cast<std::size_t>(total));
   auto scatter = [&](unsigned s) {
     SendLane& lane = lanes_[s];
     for (auto& m : lane.outbox) arena_[lane.cursors[m.to]++] = std::move(m);
@@ -374,35 +379,32 @@ void Network::merge_lanes(std::uint64_t total) {
   }
 }
 
-void Network::consume_inbox(NodeId v) {
-  // FlatArena inboxes are bulk-recycled by the next deliver_and_advance.
-  if (mode_ == DeliveryMode::LegacyInbox) inbox_[v].clear();
-}
-
-bool Network::inbox_nonempty() const {
-  // Both modes: deliver_and_advance counted what it just moved into the
-  // inboxes. (The legacy path used to rescan all n inbox vectors here,
-  // an O(n) pass per round on otherwise-idle networks.)
-  return delivered_last_round_ != 0;
-}
-
 bool Network::all_done() const {
-  for (const auto& p : programs_)
-    if (!p->done()) return false;
-  return true;
+  // O(S): the step phase maintained each lane's done-counter by
+  // transition, so no per-node (let alone virtual) work happens here.
+  std::int64_t done = 0;
+  for (const auto& lane : lanes_) done += lane.done_count;
+  return done == static_cast<std::int64_t>(graph_->num_nodes());
+}
+
+bool Network::quiescent() const {
+  // Phase 0 — quiesce check: no messages in flight (the last merge counted
+  // what it moved, O(1)) and every program done (O(S) counter sum).
+  return delivered_last_round_ == 0 && all_done();
 }
 
 RunStats Network::run(std::size_t max_rounds) {
   FL_REQUIRE(!programs_.empty(), "install programs before running");
   begin_if_needed();
   RunStats stats;
+  // The round pipeline: quiesce check -> step shards -> merge lanes.
   while (round_ <= max_rounds) {
-    if (!inbox_nonempty() && all_done()) {
+    if (quiescent()) {
       stats.terminated = true;
       break;
     }
-    step_all_nodes(/*starting=*/false);
-    deliver_and_advance();
+    phase_step(/*starting=*/false);
+    phase_merge();
   }
   stats.rounds = round_;
   stats.messages = metrics_.messages_total;
@@ -416,8 +418,8 @@ void Network::step(std::size_t rounds) {
     if (rounds > 0) --rounds;
   }
   for (std::size_t r = 0; r < rounds; ++r) {
-    step_all_nodes(/*starting=*/false);
-    deliver_and_advance();
+    phase_step(/*starting=*/false);
+    phase_merge();
   }
 }
 

@@ -6,6 +6,19 @@
 // computation is free. The simulator meters rounds and message counts —
 // the two complexities the paper's theorems bound — and enforces the
 // declared knowledge level (KT0 / unique-edge-IDs / KT1).
+//
+// Each round is an explicit three-phase pipeline (see Network::run):
+//
+//   quiesce check -> step shards -> merge lanes
+//
+//   * quiesce: O(S) over the S execution lanes — delivered-message count
+//     from the last merge plus the lanes' done-counters; no per-node work;
+//   * step: every lane steps its shard's nodes against a private SendLane
+//     (exec.hpp), concurrently when parallelism > 1;
+//   * merge: the lanes' outboxes become next round's inboxes — one
+//     contiguous arena, counting-sorted by destination with CSR-style
+//     per-node offsets (counts maintained incrementally by the send path),
+//     bit-identical to sequential delivery for every lane count.
 #pragma once
 
 #include <functional>
@@ -20,23 +33,6 @@
 #include "util/rng.hpp"
 
 namespace fl::sim {
-
-/// How delivered messages are stored between rounds.
-enum class DeliveryMode {
-  /// One contiguous arena per round, counting-sorted by destination with
-  /// CSR-style per-node offsets (counts maintained incrementally by the
-  /// send path). No per-node allocation churn; inboxes are spans into one
-  /// buffer read sequentially across the whole round.
-  FlatArena,
-  /// The original per-node inbox vectors with accounting at delivery — the
-  /// seed commit's delivery path, kept as a guarded fallback for A/B perf
-  /// comparison and regression hunting.
-  LegacyInbox,
-};
-
-/// FlatArena unless the FL_SIM_LEGACY_INBOX environment variable is set to
-/// a non-empty value other than "0".
-DeliveryMode default_delivery_mode();
 
 class Network {
  public:
@@ -76,15 +72,11 @@ class Network {
   /// slack the model allows).
   void set_log_n_bound(double bound);
 
-  /// Switch delivery storage; only legal before the first round.
-  void set_delivery_mode(DeliveryMode mode);
-  DeliveryMode delivery_mode() const { return mode_; }
-
-  /// Execution parallelism (defaults to FL_SIM_THREADS, else 1); only
-  /// legal before the first round. Results are bit-identical for every
-  /// thread count — the deterministic shard-merge contract (exec.hpp) —
-  /// so this is purely a wall-clock knob. LegacyInbox delivery is the
-  /// sequential seed baseline and always runs single-threaded.
+  /// Execution parallelism (defaults to FL_SIM_THREADS / FL_SIM_BALANCE,
+  /// else sequential + degree-balanced); only legal before the first
+  /// round. Results are bit-identical for every thread count and either
+  /// balance mode — the deterministic shard-merge contract (exec.hpp) —
+  /// so this is purely a wall-clock knob.
   void set_parallelism(ParallelConfig par);
   ParallelConfig parallelism() const { return par_; }
 
@@ -96,6 +88,13 @@ class Network {
   const NodeProgram& program(graph::NodeId v) const;
 
   /// Typed accessor for result extraction after a run.
+  ///
+  /// Done-state contract: the engine re-reads done() only when it steps a
+  /// node (quiescence is tracked by transition counters, not by scanning),
+  /// so external mutation through this accessor must not change what
+  /// done() returns while a run may still continue. Extraction after the
+  /// final run — including mutating extraction like flush_final_records —
+  /// is fine.
   template <typename P>
   P& program_as(graph::NodeId v) {
     return dynamic_cast<P&>(program(v));
@@ -109,12 +108,12 @@ class Network {
   graph::NodeId resolve_slow(graph::NodeId from, graph::EdgeId edge,
                              std::span<const graph::Incidence> inc);
   void begin_if_needed();
-  void step_all_nodes(bool starting);
-  void deliver_and_advance();
+  // The per-round phases, in execution order.
+  bool quiescent() const;
+  void phase_step(bool starting);
+  void phase_merge();
   void merge_lanes(std::uint64_t total);
-  void consume_inbox(graph::NodeId v);
-  bool inbox_nonempty() const;
-  bool all_done() const;
+  bool all_done() const;  // O(S) sum of the lanes' done-counters
 
   const graph::Graph* graph_;
   Knowledge knowledge_;
@@ -150,32 +149,39 @@ class Network {
   };
   std::vector<EdgeSlotCache> slot_cache_;
 
-  DeliveryMode mode_ = DeliveryMode::FlatArena;
-
   // Parallel execution (exec.hpp): nodes are split into contiguous shards,
   // one SendLane per shard; lane 0 doubles as the sequential outbox. The
   // pool exists only when the effective shard count exceeds 1. Shards and
-  // lanes are finalized by begin_if_needed() from par_ and mode_.
+  // lanes are finalized by begin_if_needed() from par_ (degree-weighted
+  // cuts under ShardBalance::Degree).
   ParallelConfig par_;
   std::vector<ShardRange> shards_;
   std::vector<SendLane> lanes_;
   std::unique_ptr<ExecPool> pool_;
 
-  // FlatArena storage: this round's deliveries, counting-sorted by
+  // Done-state cache, one byte per node, written only by the owning
+  // shard's lane. phase_step re-reads program->done() once right after
+  // stepping a node (done-state can only change inside on_start/on_round)
+  // and bumps the lane's done-counter on transitions, so the quiesce
+  // phase never re-scans programs: all_done() sums S counters.
+  std::vector<std::uint8_t> done_state_;
+
+  // Delivery storage: this round's messages, counting-sorted by
   // destination. Node v's inbox is arena_[arena_offsets_[v] ..
   // arena_offsets_[v + 1]). Rebuilt in place each round; per-destination
   // counts are maintained incrementally by enqueue() in the sending lane
   // (SendLane::dest_counts), so the merge needs no counting pass over the
   // outboxes — offsets arithmetic plus one relocation pass. 32-bit offsets
   // keep the randomly accessed side arrays half the size (a round is
-  // capped well below 2^32 messages — merge_lanes enforces it).
+  // capped well below 2^32 messages — merge_lanes enforces it). With a
+  // pool, the offsets arithmetic itself runs chunk-parallel over the node
+  // shards (merge_lanes).
   std::vector<Message> arena_;
-  std::vector<std::uint32_t> arena_offsets_;   // size n + 1 once running
+  std::vector<std::uint32_t> arena_offsets_;   // size n + 1
+  std::vector<std::uint64_t> chunk_weight_;    // offsets scratch, size S
 
-  std::vector<std::vector<Message>> inbox_;    // LegacyInbox storage
-  // Messages moved to inboxes by the last deliver_and_advance — the
-  // quiescence test, O(1) in both modes (the LegacyInbox path used to
-  // rescan all n inbox vectors per round).
+  // Messages moved into the arena by the last merge — the O(1) half of
+  // the quiesce check.
   std::uint64_t delivered_last_round_ = 0;
   std::size_t round_ = 0;
   bool started_ = false;

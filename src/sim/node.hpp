@@ -97,6 +97,14 @@ class NodeProgram {
   /// A network halts when every program reports done() and no messages are
   /// in flight. Programs may keep receiving messages after done() turns
   /// true (e.g. stragglers); they simply go back to not-done if needed.
+  ///
+  /// Contract: the engine re-reads done() exactly once per step, right
+  /// after on_start/on_round returns — the only moments done-state may
+  /// change — and tracks transitions in per-shard counters (so the
+  /// quiesce check does no per-node work). done() must therefore be a
+  /// cheap, side-effect-free predicate of the program's state, and that
+  /// state must not be mutated from outside the simulation while a run
+  /// may still continue.
   virtual bool done() const = 0;
 
   /// Minimum knowledge this protocol needs; the network enforces it.

@@ -1,7 +1,8 @@
 // Tests for the parallel round-execution engine (sim/exec.hpp): shard
-// partitioning, the worker pool, and — the load-bearing contract — bit
-// determinism of RunStats, Metrics and protocol outputs across thread
-// counts and against the legacy sequential delivery path.
+// partitioning (uniform and degree-weighted), the worker pool, and — the
+// load-bearing contract — bit determinism of RunStats, Metrics and
+// protocol outputs across thread counts, balance modes and graph families
+// (dense, sparse, skewed), anchored by a pinned golden trace.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,6 +18,7 @@
 #include "localsim/tlocal_broadcast.hpp"
 #include "sim/exec.hpp"
 #include "sim/network.hpp"
+#include "trace_hash.hpp"
 #include "util/assert.hpp"
 
 namespace fl::sim {
@@ -77,6 +79,91 @@ TEST(PartitionNodes, CoversEveryNodeExactlyOnce) {
       }
       EXPECT_LE(hi - lo, 1u);
     }
+  }
+}
+
+// ------------------------------------- partition_nodes (degree-weighted)
+
+/// Contiguous, non-empty, ascending cover of [0, n) — the structural
+/// invariants every weighted cut must preserve.
+void expect_partition_invariants(const std::vector<ShardRange>& shards,
+                                 NodeId n, unsigned requested) {
+  ASSERT_FALSE(shards.empty());
+  EXPECT_LE(shards.size(), std::min<std::size_t>(requested, n));
+  NodeId expect_begin = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.begin, expect_begin);
+    EXPECT_GT(s.end, s.begin);
+    expect_begin = s.end;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST(PartitionNodesWeighted, StarHubGetsASingletonShard) {
+  // Star on 12 nodes, hub first: weights deg + 1 = {12, 2, 2, ...}. The
+  // hub alone carries more than 1/4 of the total weight, so with 4 shards
+  // the first cut must isolate it; the leaves split the rest.
+  const NodeId n = 12;
+  std::vector<std::uint64_t> w(n, 2);
+  w[0] = 12;
+  const auto shards = partition_nodes(n, 4, w);
+  expect_partition_invariants(shards, n, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0], (ShardRange{0, 1}));  // the hub, alone
+  // No leaf shard is grossly imbalanced (total leaf weight 22 over 3
+  // shards → 3..4 leaves each).
+  for (unsigned s = 1; s < 4; ++s) {
+    EXPECT_GE(shards[s].size(), 3u);
+    EXPECT_LE(shards[s].size(), 4u);
+  }
+}
+
+TEST(PartitionNodesWeighted, UniformWeightsMatchUniformCuts) {
+  const NodeId n = 64;
+  const std::vector<std::uint64_t> w(n, 5);
+  EXPECT_EQ(partition_nodes(n, 8, w), partition_nodes(n, 8));
+}
+
+TEST(PartitionNodesWeighted, FewerNodesThanShards) {
+  const std::vector<std::uint64_t> w{7, 1, 3};
+  const auto shards = partition_nodes(3, 8, w);
+  expect_partition_invariants(shards, 3, 8);
+  EXPECT_EQ(shards.size(), 3u);  // one singleton shard per node
+}
+
+TEST(PartitionNodesWeighted, AllWeightOnOneNodeStillCoversEveryNode) {
+  // One node holds all the weight: it gets a singleton shard and the
+  // remaining (weightless) nodes are still spread over non-empty shards —
+  // the clamp never starves a trailing shard.
+  for (const NodeId heavy : {NodeId{0}, NodeId{5}, NodeId{9}}) {
+    std::vector<std::uint64_t> w(10, 0);
+    w[heavy] = 1000;
+    const auto shards = partition_nodes(10, 4, w);
+    expect_partition_invariants(shards, 10, 4);
+    ASSERT_EQ(shards.size(), 4u);
+  }
+}
+
+TEST(PartitionNodesWeighted, CutsTrackThePrefixMarks) {
+  // Ascending weights: early nodes are cheap, so early shards must take
+  // more nodes than late ones; every shard's weight stays within one
+  // max-weight of the ideal total/k slice.
+  const NodeId n = 100;
+  std::vector<std::uint64_t> w(n);
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    w[v] = v + 1;
+    total += w[v];
+  }
+  const unsigned k = 5;
+  const auto shards = partition_nodes(n, k, w);
+  expect_partition_invariants(shards, n, k);
+  ASSERT_EQ(shards.size(), k);
+  EXPECT_GT(shards.front().size(), shards.back().size());
+  for (const auto& s : shards) {
+    std::uint64_t weight = 0;
+    for (NodeId v = s.begin; v < s.end; ++v) weight += w[v];
+    EXPECT_LT(weight, total / k + n + 1);  // ideal slice + one max weight
   }
 }
 
@@ -166,11 +253,9 @@ struct ChatterResult {
                                      std::uint64_t>>> logs;
 };
 
-ChatterResult run_chatter(const Graph& g, DeliveryMode mode,
-                          unsigned threads) {
+ChatterResult run_chatter(const Graph& g, ParallelConfig par) {
   Network net(g, Knowledge::EdgeIds, 7);
-  net.set_delivery_mode(mode);
-  net.set_parallelism({threads});
+  net.set_parallelism(par);
   net.install_all<ChatterProbe>(8u);
   ChatterResult res;
   res.stats = net.run(60);
@@ -192,23 +277,55 @@ void expect_identical(const ChatterResult& a, const ChatterResult& b) {
   EXPECT_EQ(a.logs, b.logs);
 }
 
-TEST(ParallelNetwork, BitIdenticalAcrossThreadCountsAndVsLegacy) {
-  util::Xoshiro256 rng(123);
-  const Graph g = graph::erdos_renyi_gnm(97, 400, rng);  // odd n: ragged shards
-  const auto seq = run_chatter(g, DeliveryMode::FlatArena, 1);
-  EXPECT_GT(seq.stats.messages, 0u);
-  for (const unsigned threads : {2u, 8u}) {
-    const auto par = run_chatter(g, DeliveryMode::FlatArena, threads);
-    expect_identical(seq, par);
+TEST(ParallelNetwork, BitIdenticalAcrossThreadCountsOnEveryFamily) {
+  // The determinism suite: dense (ER), sparse (tree) and skewed
+  // (power-law) families, each run at 1, 2 and 8 lanes and under both
+  // shard-balance modes — RunStats, Metrics and every per-node delivery
+  // log must be bit-identical throughout.
+  util::Xoshiro256 dense_rng(123), sparse_rng(124), skew_rng(125);
+  const Graph dense = graph::erdos_renyi_gnm(97, 400, dense_rng);  // odd n
+  const Graph sparse = graph::random_tree(101, sparse_rng);
+  const Graph skewed = graph::barabasi_albert(90, 6, skew_rng);
+  for (const Graph* g : {&dense, &sparse, &skewed}) {
+    const auto seq = run_chatter(*g, {1});
+    EXPECT_GT(seq.stats.messages, 0u);
+    for (const unsigned threads : {2u, 8u}) {
+      for (const ShardBalance balance :
+           {ShardBalance::Uniform, ShardBalance::Degree}) {
+        const auto par = run_chatter(*g, {threads, balance});
+        expect_identical(seq, par);
+      }
+    }
   }
-  const auto legacy = run_chatter(g, DeliveryMode::LegacyInbox, 8);
-  expect_identical(seq, legacy);
+}
+
+TEST(ParallelNetwork, ChatterMatchesPinnedGoldenTrace) {
+  // Golden-trace anchor (formerly the flat-vs-legacy A/B): the sequential
+  // chatter run on the dense graph, hashed event by event. The thread-
+  // count matrix above proves every configuration equals the sequential
+  // run; this hash pins the sequential run itself to the behaviour the
+  // deleted legacy engine certified.
+  util::Xoshiro256 rng(123);
+  const Graph g = graph::erdos_renyi_gnm(97, 400, rng);
+  const auto seq = run_chatter(g, {1});
+  testing::TraceHash h;
+  h.u64(seq.stats.rounds).u64(seq.stats.messages);
+  h.u64(seq.metrics.words_total);
+  for (const auto c : seq.metrics.messages_per_round) h.u64(c);
+  for (const auto c : seq.metrics.messages_per_node) h.u64(c);
+  for (const auto& log : seq.logs) {
+    h.u64(log.size());
+    for (const auto& [round, from, edge, payload] : log)
+      h.u64(round).u64(from).u64(edge).u64(payload);
+  }
+  EXPECT_EQ(h.value(), 0xb76783e3caeb7eb4ull)
+      << "chatter golden trace moved: 0x" << std::hex << h.value();
 }
 
 TEST(ParallelNetwork, MoreThreadsThanNodes) {
   const Graph g = graph::ring(5);
-  const auto seq = run_chatter(g, DeliveryMode::FlatArena, 1);
-  const auto par = run_chatter(g, DeliveryMode::FlatArena, 8);
+  const auto seq = run_chatter(g, {1});
+  const auto par = run_chatter(g, {8});
   expect_identical(seq, par);
 }
 

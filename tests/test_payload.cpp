@@ -1,6 +1,6 @@
 // Tests for the small-buffer payload engine: inline vs. heap storage
-// classes, move-only ownership, cast diagnostics, and flat/legacy delivery
-// equivalence for every payload category.
+// classes, move-only ownership, cast diagnostics, and a pinned golden
+// delivery trace covering every payload category.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -13,6 +13,7 @@
 #include "graph/generators.hpp"
 #include "sim/network.hpp"
 #include "sim/payload.hpp"
+#include "trace_hash.hpp"
 
 namespace fl::sim {
 namespace {
@@ -153,7 +154,7 @@ TEST(Payload, PayloadIfMatchesAndDispatches) {
   EXPECT_EQ(*s->p, 9);
 }
 
-// --------------------------------------- delivery-mode equivalence (A/B)
+// --------------------------------------- delivery golden trace (pinned)
 
 /// Sends one payload of every storage class per active round — trivial
 /// inline, shared inline, heap oversized — over edges in *reverse*
@@ -212,33 +213,35 @@ class MixedPayloadProbe final : public NodeProgram {
   unsigned active_;
 };
 
-TEST(Payload, FlatAndLegacyDeliveryAgreeOnAllStorageClasses) {
+/// Golden-trace anchor for payload delivery. Formerly the flat-vs-legacy
+/// A/B over every storage class (the legacy engine certified the flat
+/// arena bit-identical before it was deleted); the pinned hash freezes
+/// that certified behaviour — per-node logs of (round, from, decoded
+/// payload tag) in delivery order, plus RunStats/Metrics.
+TEST(PayloadGoldenTrace, AllStorageClassesMatchPinnedTrace) {
   util::Xoshiro256 rng(7);
   const Graph g = graph::erdos_renyi_gnm(32, 96, rng);
 
-  auto run_mode = [&](DeliveryMode mode) {
-    Network net(g, Knowledge::EdgeIds, 3);
-    net.set_delivery_mode(mode);
-    net.install_all<MixedPayloadProbe>(4u);
-    const RunStats stats = net.run(40);
-    EXPECT_TRUE(stats.terminated);
-    std::vector<std::vector<std::tuple<std::size_t, NodeId, std::string>>> logs;
-    for (NodeId v = 0; v < g.num_nodes(); ++v)
-      logs.push_back(net.program_as<MixedPayloadProbe>(v).heard);
-    return std::tuple{stats, net.metrics(), std::move(logs)};
-  };
+  Network net(g, Knowledge::EdgeIds, 3);
+  net.install_all<MixedPayloadProbe>(4u);
+  const RunStats stats = net.run(40);
+  EXPECT_TRUE(stats.terminated);
+  EXPECT_EQ(stats.rounds, 5u);
+  EXPECT_EQ(stats.messages, 768u);
 
-  const auto [fs, fm, fl_logs] = run_mode(DeliveryMode::FlatArena);
-  const auto [ls, lm, lg_logs] = run_mode(DeliveryMode::LegacyInbox);
-
-  EXPECT_EQ(fs.rounds, ls.rounds);
-  EXPECT_EQ(fs.messages, ls.messages);
-  EXPECT_GT(fs.messages, 0u);
-  EXPECT_EQ(fm.messages_total, lm.messages_total);
-  EXPECT_EQ(fm.words_total, lm.words_total);
-  EXPECT_EQ(fm.messages_per_round, lm.messages_per_round);
-  EXPECT_EQ(fm.messages_per_node, lm.messages_per_node);
-  EXPECT_EQ(fl_logs, lg_logs);
+  const Metrics& m = net.metrics();
+  testing::TraceHash h;
+  h.u64(stats.rounds).u64(stats.messages).u64(m.words_total);
+  for (const auto c : m.messages_per_round) h.u64(c);
+  for (const auto c : m.messages_per_node) h.u64(c);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& heard = net.program_as<MixedPayloadProbe>(v).heard;
+    h.u64(heard.size());
+    for (const auto& [round, from, tag] : heard)
+      h.u64(round).u64(from).str(tag);
+  }
+  EXPECT_EQ(h.value(), 0x013a6c5fba1fb3e4ull)
+      << "payload golden trace moved: 0x" << std::hex << h.value();
 }
 
 /// Regression: a payload that outlives its round (the arena recycles slots

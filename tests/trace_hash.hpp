@@ -1,0 +1,44 @@
+// Pinned golden-trace hashing for the delivery-order regression tests.
+//
+// The legacy (seed) inbox engine is gone; what anchors the simulator's
+// observable behaviour now is a set of golden trace hashes pinned in the
+// tests: FNV-1a 64 over an explicitly serialized event stream (fixed-width
+// little-endian integers, length-prefixed strings), so the value is a pure
+// function of the simulation — platform, endianness and container layout
+// never leak in. PR 2/PR 3 proved the flat engine bit-identical to the
+// seed's per-node inboxes; the pinned hashes freeze exactly that behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fl::testing {
+
+class TraceHash {
+ public:
+  /// Fixed-width, little-endian — the only integer entry point, so a
+  /// caller cannot accidentally hash a platform-sized type.
+  TraceHash& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+    return *this;
+  }
+
+  TraceHash& str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+    return *this;
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  void byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+
+  std::uint64_t h_ = 14695981039346656037ull;  // FNV-1a 64 offset basis
+};
+
+}  // namespace fl::testing
