@@ -11,11 +11,14 @@
 #include "core/config.hpp"
 #include "core/distributed_sampler.hpp"
 #include "graph/generators.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace fl;
   const auto env = bench::Env::parse(argc, argv);
+  const util::Options opt(argc, argv);
+  const bool congest_section = opt.get_bool("congest", false);
 
   // (a) density sweep.
   {
@@ -124,6 +127,54 @@ int main(int argc, char** argv) {
     }
     env.emit(table, "E6b — message counts, n sweep on K_n (cap binds)");
     env.emit(fits, "E6b — fitted message exponents vs predicted 1+δ+ε");
+  }
+
+  // (d) --congest: the same Sampler under an enforced per-edge word budget
+  // (sim/congest.hpp). The words column of E6a is what a CONGEST network
+  // would have to ship; here the Defer engine actually ships it — boundary
+  // lists crawl through B-word edges, the schedule (stretched by
+  // schedule_slack so sessions still fit their windows) pays the rounds,
+  // and the run reports how far the LOCAL round count is from the
+  // budgeted one. Message counts must match LOCAL exactly: the budget
+  // delays traffic, it never drops it.
+  if (congest_section) {
+    const std::uint64_t budget = 8;
+    util::Table table({"n", "avg deg", "budget", "max msg words", "slack",
+                       "local rounds", "congest rounds", "stretch",
+                       "deferrals", "messages", "words",
+                       "spanner == local?"});
+    for (const double deg : {4.0, 8.0}) {
+      const graph::NodeId n = env.quick ? 256 : 512;
+      util::Xoshiro256 rng(env.seed);
+      const auto m = static_cast<std::size_t>(deg * n / 2);
+      const auto g = graph::erdos_renyi_gnm(n, m, rng);
+      auto cfg = core::SamplerConfig::bench_profile(2, 2, env.seed);
+      const auto local = core::run_distributed_sampler(g, cfg);
+      // Slack sized from the LOCAL run's largest message: a W-word
+      // message crosses a B-word edge in ceil(W/B) rounds, and at most
+      // about two session messages share a directed edge per scheduled
+      // round, so ceil(2W/B) + 1 keeps every flood/echo hop inside its
+      // stretched window.
+      const std::uint64_t max_words = local.metrics.max_message_words;
+      const auto slack =
+          static_cast<unsigned>((2 * max_words + budget - 1) / budget + 1);
+      cfg.congest = sim::CongestConfig{budget, sim::CongestPolicy::Defer};
+      cfg.schedule_slack = slack;
+      const auto budgeted = core::run_distributed_sampler(g, cfg);
+      FL_REQUIRE(budgeted.stats.messages == local.stats.messages,
+                 "budgeted sampler sent a different message count — its "
+                 "schedule slack no longer covers the deferral delays");
+      table.add(static_cast<std::size_t>(n), deg, budget, max_words, slack,
+                local.stats.rounds, budgeted.stats.rounds,
+                util::fixed(static_cast<double>(budgeted.stats.rounds) /
+                                static_cast<double>(local.stats.rounds),
+                            2),
+                budgeted.metrics.deferrals_total, budgeted.stats.messages,
+                budgeted.metrics.words_total, budgeted.edges == local.edges);
+    }
+    env.emit(table,
+             "E6d — Sampler under a CONGEST word budget: LOCAL vs budgeted "
+             "rounds (Defer, schedule_slack-stretched windows)");
   }
   return 0;
 }

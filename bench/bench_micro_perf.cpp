@@ -112,11 +112,13 @@ BENCHMARK(BM_SpannerCheckExact)->Arg(512)->Arg(1024);
 /// Traffic driver: every node re-broadcasts a word over every incident edge
 /// for `rounds` rounds, so each round delivers exactly 2m messages. The
 /// per-round work is dominated by the simulator's enqueue + delivery path —
-/// the quantity this sweep measures.
+/// the quantity this sweep measures. `words` sets the self-reported message
+/// size (default 1): the congest sweep sends multi-word messages so a
+/// finite per-edge budget actually binds.
 class FloodRounds final : public sim::NodeProgram {
  public:
-  FloodRounds(graph::NodeId self, unsigned rounds)
-      : self_(self), rounds_(rounds) {}
+  FloodRounds(graph::NodeId self, unsigned rounds, std::uint32_t words = 1)
+      : self_(self), rounds_(rounds), words_(words) {}
 
   void on_start(sim::Context& ctx) override {
     send_all(ctx);
@@ -137,11 +139,13 @@ class FloodRounds final : public sim::NodeProgram {
 
  private:
   void send_all(sim::Context& ctx) {
-    for (const graph::EdgeId e : ctx.incident_edges()) ctx.send(e, self_);
+    for (const graph::EdgeId e : ctx.incident_edges())
+      ctx.send(e, self_, words_);
   }
 
   graph::NodeId self_;
   unsigned rounds_;
+  std::uint32_t words_ = 1;
   unsigned sent_ = 0;
   std::uint64_t checksum_ = 0;
 };
@@ -270,6 +274,135 @@ void emit_delivery_json(const std::vector<SweepRow>& rows,
   std::printf("  ]\n}\n");
 }
 
+// ------------------------------------------------- CONGEST budget sweep
+
+struct CongestRow {
+  graph::NodeId n = 0;
+  std::string family;
+  std::uint64_t edges = 0;
+  std::uint32_t words = 0;   ///< words per message
+  std::uint64_t budget = 0;  ///< words per edge per round
+  sim::RunStats local;
+  sim::RunStats congest;
+  std::uint64_t deferrals = 0;
+  double congest_seconds = 0.0;
+};
+
+/// LOCAL vs budgeted rounds for the flood driver: every edge carries
+/// `words`-word messages against a `budget`-word budget, so the Defer
+/// engine must stretch the schedule by about words/budget while delivering
+/// exactly the same messages. This is the model-quantity record for the
+/// budget engine (the stretch is deterministic); the wall-clock column
+/// meters the admission pass's overhead on top of delivery.
+std::vector<CongestRow> run_congest_sweep(const bench::Env& env) {
+  const unsigned rounds = 2;
+  const std::uint32_t words = 8;
+  const std::uint64_t budget = 4;
+  std::vector<graph::NodeId> sizes{1000, 10000};
+  if (env.quick) sizes = {1000};
+
+  std::vector<CongestRow> rows;
+  for (const graph::NodeId n : sizes) {
+    for (const char* family : {"dense", "sparse"}) {
+      const bool dense = std::string(family) == "dense";
+      util::Xoshiro256 rng(env.seed + n + (dense ? 1 : 0));
+      const graph::Graph g = dense
+                                 ? graph::erdos_renyi_gnm(n, 8ull * n, rng)
+                                 : graph::random_tree(n, rng);
+      CongestRow row;
+      row.n = n;
+      row.family = family;
+      row.edges = g.num_edges();
+      row.words = words;
+      row.budget = budget;
+      {
+        sim::Network net(g, sim::Knowledge::EdgeIds, env.seed);
+        net.install_all<FloodRounds>(rounds, words);
+        row.local = net.run(static_cast<std::size_t>(rounds) + 4);
+      }
+      {
+        sim::Network net(g, sim::Knowledge::EdgeIds, env.seed);
+        net.set_congest({budget, sim::CongestPolicy::Defer});
+        net.install_all<FloodRounds>(rounds, words);
+        util::Timer timer;
+        row.congest = net.run(64 * (static_cast<std::size_t>(rounds) + 4));
+        row.congest_seconds = timer.seconds();
+        row.deferrals = net.metrics().deferrals_total;
+      }
+      FL_REQUIRE(row.local.terminated && row.congest.terminated,
+                 "congest sweep run did not terminate");
+      FL_REQUIRE(row.congest.messages == row.local.messages,
+                 "Defer must deliver every message eventually");
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+void emit_congest_json(const std::vector<CongestRow>& rows,
+                       const bench::Env& env) {
+  std::printf("{\n  \"bench\": \"congest_stretch\",\n");
+  std::printf("  \"seed\": %llu,\n  \"quick\": %s,\n",
+              static_cast<unsigned long long>(env.seed),
+              env.quick ? "true" : "false");
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CongestRow& r = rows[i];
+    std::printf(
+        "    {\"n\": %u, \"family\": \"%s\", \"edges\": %llu, "
+        "\"words_per_msg\": %u, \"budget\": %llu, "
+        "\"local_rounds\": %zu, \"congest_rounds\": %zu, "
+        "\"messages\": %llu, \"deferrals\": %llu, "
+        "\"congest_msgs_per_sec\": %.0f}%s\n",
+        r.n, r.family.c_str(), static_cast<unsigned long long>(r.edges),
+        r.words, static_cast<unsigned long long>(r.budget), r.local.rounds,
+        r.congest.rounds, static_cast<unsigned long long>(r.congest.messages),
+        static_cast<unsigned long long>(r.deferrals),
+        r.congest_seconds > 0.0
+            ? static_cast<double>(r.congest.messages) / r.congest_seconds
+            : 0.0,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int run_congest_bench(const bench::Env& env) {
+  const auto rows = run_congest_sweep(env);
+  if (env.json) {
+    emit_congest_json(rows, env);
+  } else {
+    util::Table table({"n", "family", "edges", "words/msg", "budget",
+                       "LOCAL rounds", "budgeted rounds", "stretch",
+                       "deferrals", "congest Mmsg/s"});
+    for (const CongestRow& r : rows) {
+      table.add(static_cast<std::size_t>(r.n), r.family,
+                static_cast<unsigned long long>(r.edges), r.words,
+                static_cast<unsigned long long>(r.budget), r.local.rounds,
+                r.congest.rounds,
+                util::fixed(static_cast<double>(r.congest.rounds) /
+                                static_cast<double>(r.local.rounds),
+                            2),
+                static_cast<unsigned long long>(r.deferrals),
+                util::fixed(r.congest_seconds > 0.0
+                                ? static_cast<double>(r.congest.messages) /
+                                      r.congest_seconds / 1e6
+                                : 0.0,
+                            2));
+    }
+    env.emit(table, "CONGEST budget: LOCAL vs budgeted rounds (Defer)");
+  }
+  for (const CongestRow& r : rows) {
+    if (r.congest.rounds <= r.local.rounds) {  // the budget must bind
+      std::fprintf(stderr,
+                   "congest sweep: budget failed to stretch rounds at n=%u "
+                   "%s (local %zu, budgeted %zu)\n",
+                   r.n, r.family.c_str(), r.local.rounds, r.congest.rounds);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int run_delivery_bench(const bench::Env& env, unsigned threads) {
   const auto rows = run_delivery_sweep(env, threads);
   if (env.json) {
@@ -303,7 +436,7 @@ int main(int argc, char** argv) {
         for (int i = 1; i < argc; ++i) {
           const std::string a = argv[i];
           for (const char* flag : {"--delivery", "--json", "--csv", "--quick",
-                                   "--seed", "--threads"})
+                                   "--seed", "--threads", "--congest"})
             if (a == flag || a.rfind(std::string(flag) + "=", 0) == 0)
               return true;
         }
@@ -311,13 +444,20 @@ int main(int argc, char** argv) {
       }();
   if (delivery_section) {
     // --threads N sets the parallel column's lane count (default 8); the
-    // sequential flat column always runs single-threaded.
+    // sequential flat column always runs single-threaded. --congest adds
+    // the CONGEST budget sweep (LOCAL vs budgeted rounds) after the
+    // delivery sweep.
     const fl::util::Options opt(argc, argv);
     const std::int64_t threads = opt.get_int("threads", 8);
     FL_REQUIRE(threads >= 1 && threads <= 1024,
                "--threads must be in [1, 1024]");
-    return run_delivery_bench(fl::bench::Env::parse(argc, argv),
-                              static_cast<unsigned>(threads));
+    const auto env = fl::bench::Env::parse(argc, argv);
+    int rc = run_delivery_bench(env, static_cast<unsigned>(threads));
+    if (opt.get_bool("congest", false)) {
+      const int congest_rc = run_congest_bench(env);
+      if (rc == 0) rc = congest_rc;
+    }
+    return rc;
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -10,7 +10,9 @@ Most E-bench fields are *model* quantities (rounds, messages, spanner sizes)
 that are bit-deterministic given the seed, so any drift there is a real
 behaviour change, not noise. Wall-clock fields (msgs_per_sec, ...) are noisy
 on a busy box — they are still reported, clearly marked, but only model-field
-drift makes --strict fail.
+drift makes --strict fail. Schema changes are model drift too: a row that
+gains or loses a column between snapshots (e.g. a bench grew a --congest
+column) is reported field by field, never silently skipped.
 
 Exit status: 0 unless --strict is given and at least one non-timing field
 regressed. Usage:  scripts/bench_diff.py [--strict] [--threshold PCT] [files...]
@@ -109,7 +111,16 @@ def diff_snapshots(old_objs, new_objs, threshold):
                 model_flags.append(f"  [{title}] {describe(key)}: new row")
                 continue
             for field, new_val in new_row.items():
-                old_val = old_row.get(field)
+                # A column gained or lost between snapshots is a schema
+                # change (e.g. a bench grew a --congest column): report it
+                # explicitly as model drift instead of silently skipping
+                # the field (or crashing on a missing key).
+                if field not in old_row:
+                    model_flags.append(
+                        f"  [{title}] {describe(key)} {field}: "
+                        f"column gained (absent from the HEAD snapshot)")
+                    continue
+                old_val = old_row[field]
                 if not isinstance(new_val, (int, float)) or isinstance(new_val, bool):
                     if old_val != new_val:
                         model_flags.append(
@@ -117,6 +128,9 @@ def diff_snapshots(old_objs, new_objs, threshold):
                             f"{old_val!r} -> {new_val!r}")
                     continue
                 if not isinstance(old_val, (int, float)) or isinstance(old_val, bool):
+                    model_flags.append(
+                        f"  [{title}] {describe(key)} {field}: "
+                        f"type changed ({old_val!r} -> {new_val!r})")
                     continue
                 if old_val == new_val:
                     continue
@@ -128,6 +142,11 @@ def diff_snapshots(old_objs, new_objs, threshold):
                         f"{old_val:g} -> {new_val:g} ({delta:+.1%})")
                 (timing_flags if is_timing_field(field)
                  else model_flags).append(line)
+            for field in old_row:
+                if field not in new_row:
+                    model_flags.append(
+                        f"  [{title}] {describe(key)} {field}: "
+                        f"column lost (present in the HEAD snapshot)")
         for key in old_rows:
             if key not in new_rows:
                 model_flags.append(

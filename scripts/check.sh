@@ -15,16 +15,18 @@ cmake -B "$BUILD_DIR" -S . ${FL_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-# Bench smoke: the delivery-throughput sweep at quick sizes, JSON teed into
-# the per-PR trajectory snapshot at the repo root. Exits nonzero if the
-# sequential and parallel engines ever disagree on RunStats, so CI catches
-# semantic drift, not just crashes. The committed BENCH_micro_perf.json is
-# this same quick record, so bench_diff below has a matching baseline;
-# FL_BENCH_FULL=1 additionally refreshes the tracked full-sweep record
-# (adds the n=100k rows — a couple of minutes).
-"$BUILD_DIR"/bench/bench_micro_perf --quick --json | tee BENCH_micro_perf.json
+# Bench smoke: the delivery-throughput sweep at quick sizes plus the
+# CONGEST budget sweep (LOCAL vs budgeted rounds under a binding per-edge
+# word budget), JSON teed into the per-PR trajectory snapshot at the repo
+# root. Exits nonzero if the sequential and parallel engines ever disagree
+# on RunStats, or if a finite budget fails to stretch the schedule, so CI
+# catches semantic drift, not just crashes. The committed
+# BENCH_micro_perf.json is this same quick record, so bench_diff below has
+# a matching baseline; FL_BENCH_FULL=1 additionally refreshes the tracked
+# full-sweep record (adds the n=100k rows — a couple of minutes).
+"$BUILD_DIR"/bench/bench_micro_perf --quick --congest --json | tee BENCH_micro_perf.json
 if [ -n "${FL_BENCH_FULL:-}" ]; then
-  "$BUILD_DIR"/bench/bench_micro_perf --delivery --json | tee BENCH_micro_perf_full.json
+  "$BUILD_DIR"/bench/bench_micro_perf --delivery --congest --json | tee BENCH_micro_perf_full.json
 fi
 
 # Trajectory snapshots: every experiment's --quick --json record lands in a
@@ -33,11 +35,19 @@ fi
 # quantities (rounds, messages, sizes) are deterministic per seed, so any
 # drift there is a genuine behaviour change; wall-clock fields are reported
 # but marked as noisy. The diff warns by default (pass --strict to fail).
+# E6 and E9 additionally run their --congest sections (the Sampler and the
+# payload broadcasts under an enforced per-edge word budget), so the
+# LOCAL-vs-budgeted round tables are part of the tracked trajectory.
 for bench in e1_hierarchy e2_light_heavy e3_spanner_size e4_stretch \
              e5_rounds e6_messages e7_baselines e8_tlocal_broadcast \
              e9_message_reduction e10_two_stage; do
   id="${bench%%_*}"
-  "$BUILD_DIR"/bench/"bench_$bench" --quick --json > "BENCH_$id.json"
+  extra=""
+  case "$bench" in
+    e6_messages|e9_message_reduction) extra="--congest" ;;
+  esac
+  # shellcheck disable=SC2086  # $extra is intentionally word-split
+  "$BUILD_DIR"/bench/"bench_$bench" --quick $extra --json > "BENCH_$id.json"
   echo "snapshot: BENCH_$id.json"
 done
 python3 scripts/bench_diff.py

@@ -22,7 +22,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+
+#include "sim/congest.hpp"
 
 namespace fl::core {
 
@@ -36,6 +39,20 @@ struct SamplerConfig {
 
   bool force_light_completion = false;  ///< patch the whp failure event
   bool peel_parallel_edges = true;      ///< ablation: key idea of Sec. 1.3
+
+  /// CONGEST bandwidth budget for the distributed run's network (see
+  /// sim/congest.hpp). nullopt = the network's own default (FL_SIM_CONGEST
+  /// probe, else unlimited). The paper's schedule assumes LOCAL delivery;
+  /// pair a finite Defer budget with schedule_slack so flood/echo sessions
+  /// whose multi-word lists crawl through B-word edges still land inside
+  /// their phase windows.
+  std::optional<sim::CongestConfig> congest;
+
+  /// Multiplies every phase window of the Schedule (>= 1; 1 = the paper's
+  /// exact timetable). A deferred message is delayed by at most
+  /// ceil(words / budget) rounds per hop, so a slack of that magnitude
+  /// restores the sessions' timing under a finite budget.
+  unsigned schedule_slack = 1;
 
   std::uint64_t seed = 1;
 

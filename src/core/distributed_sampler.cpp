@@ -827,8 +827,15 @@ class SamplerNode final : public sim::NodeProgram {
 Schedule Schedule::build(const SamplerConfig& cfg) {
   Schedule sched;
   std::size_t round = 0;
+  // schedule_slack stretches every window uniformly (slack = 1 is the
+  // paper's exact timetable). Under a finite CONGEST budget a message is
+  // delayed by up to ceil(words / budget) rounds per hop, so a slack of
+  // that magnitude keeps flood/echo sessions inside their phase windows;
+  // zero-length windows (level 0 runs locally) stay zero.
+  const std::size_t slack = cfg.schedule_slack;
   auto push = [&](PhaseSpec::Kind kind, unsigned level, int trial,
                   std::size_t len) {
+    len *= slack;
     sched.phases.push_back(PhaseSpec{kind, level, trial, round, len});
     round += len;
   };
@@ -868,13 +875,19 @@ DistributedSpannerRun run_distributed_sampler(const graph::Graph& g,
   const double n0 = g.num_nodes();
 
   sim::Network net(g, sim::Knowledge::EdgeIds, cfg.seed);
+  if (cfg.congest.has_value()) net.set_congest(*cfg.congest);
   net.install([&](NodeId v) {
     return std::make_unique<SamplerNode>(v, schedule, cfg, n0);
   });
 
   DistributedSpannerRun run;
   run.stretch_bound = cfg.stretch_bound();
-  run.stats = net.run(schedule->total_rounds + 4);
+  // Under a Defer budget the tail of the schedule (death announcements,
+  // straggling echo words) may still be draining through the carry queues
+  // when the timetable ends; run_until_drained grows the cap until the
+  // backlog clears (a no-op in LOCAL mode).
+  const std::size_t cap = schedule->total_rounds + 4;
+  run.stats = net.run_until_drained(cap, /*hard_cap=*/cap * 64 + 4096);
   FL_REQUIRE(run.stats.terminated,
              "distributed sampler did not terminate within its schedule");
   run.metrics = net.metrics();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "sim/network.hpp"
 #include "util/assert.hpp"
@@ -16,6 +17,11 @@ namespace {
 
 struct MsgOrigins {
   std::shared_ptr<const std::vector<NodeId>> origins;
+  /// How many further hops this bundle's origins may still travel. In
+  /// LOCAL mode a bundle arriving in round r always carries R - r (rounds
+  /// and hops coincide), so the field is redundant there; under a CONGEST
+  /// budget it is what keeps the flood hop-limited when delivery lags.
+  std::uint32_t hops_left = 0;
 };
 
 // One MsgOrigins per subset edge per round is the transformer's hot path;
@@ -24,7 +30,13 @@ static_assert(sim::Payload::stores_inline<MsgOrigins>);
 
 /// Per-node flooding program over a fixed incident edge subset. Each round
 /// a node bundles everything it learned last round into one message per
-/// subset edge — the LOCAL-model accounting of Lemma 12.
+/// subset edge — the LOCAL-model accounting of Lemma 12. Forwarding is
+/// governed by per-origin hop budgets, which equals the seed's
+/// round-counter cutoff in LOCAL mode (first arrival is the BFS-shortest
+/// path, so it always carries the maximal budget) but stays correct when a
+/// CONGEST budget delays bundles: a copy arriving later with a *larger*
+/// remaining budget is re-forwarded, so coverage is exactly B_{H,R}(v)
+/// under any delivery schedule.
 class FloodNode final : public sim::NodeProgram {
  public:
   FloodNode(NodeId self, std::shared_ptr<const std::vector<bool>> edge_in,
@@ -39,38 +51,56 @@ class FloodNode final : public sim::NodeProgram {
 
   void on_start(sim::Context& ctx) override {
     known_.push_back(self_);
-    seen_.assign(n_, false);
-    seen_[self_] = true;
+    best_hops_.assign(n_, -1);
+    best_hops_[self_] = static_cast<std::int32_t>(rounds_);
     if (rounds_ == 0) {
       finished_ = true;
       return;
     }
     auto batch = std::make_shared<const std::vector<NodeId>>(known_);
-    send_over_subset(ctx, batch);
+    send_over_subset(ctx, batch, rounds_ - 1);
   }
 
   void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
-    if (finished_) return;
-    std::vector<NodeId> fresh;
+    // Record and regroup everything heard — even after the local send
+    // schedule ended, because under a finite bandwidth budget bundles
+    // straggle in late and must still be learned and forwarded. Groups
+    // live in a flat vector: in LOCAL mode every arrival of a round
+    // carries the same hop budget (exactly one group, found without a
+    // tree in the transformer's hot path), and under a budget the handful
+    // of distinct values keeps the linear scan trivial.
+    std::vector<std::pair<std::uint32_t, std::vector<NodeId>>> fresh;
+    auto bucket = [&](std::uint32_t h) -> std::vector<NodeId>& {
+      for (auto& [hops, ids] : fresh)
+        if (hops == h) return ids;
+      return fresh.emplace_back(h, std::vector<NodeId>{}).second;
+    };
     for (const auto& m : inbox) {
       const auto& o = sim::payload_as<MsgOrigins>(m);
+      const auto hops = static_cast<std::int32_t>(o.hops_left);
       for (const NodeId id : *o.origins) {
-        if (!seen_[id]) {
-          seen_[id] = true;
-          fresh.push_back(id);
-          known_.push_back(id);
-        }
+        if (hops <= best_hops_[id]) continue;
+        if (best_hops_[id] < 0) known_.push_back(id);
+        best_hops_[id] = hops;
+        if (hops >= 1)
+          bucket(static_cast<std::uint32_t>(hops - 1)).push_back(id);
       }
     }
-    ++send_round_;
-    if (send_round_ >= rounds_) {
-      finished_ = true;
-      return;
+    // The done-state schedule is untouched by congestion: after `rounds_`
+    // steps this node's own sending duty is over (hop budgets gate any
+    // residual forwarding), which keeps LOCAL-mode termination — and every
+    // pinned golden trace — bit-identical to the seed behaviour.
+    if (!finished_) {
+      ++send_round_;
+      if (send_round_ >= rounds_) finished_ = true;
     }
-    if (!fresh.empty()) {
-      auto batch =
-          std::make_shared<const std::vector<NodeId>>(std::move(fresh));
-      send_over_subset(ctx, batch);
+    // Largest remaining budget first — a fixed, lane-independent order
+    // (group keys are unique, so the sort is deterministic).
+    std::sort(fresh.begin(), fresh.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (auto& [hops, ids] : fresh) {
+      auto batch = std::make_shared<const std::vector<NodeId>>(std::move(ids));
+      send_over_subset(ctx, batch, hops);
     }
   }
 
@@ -82,10 +112,11 @@ class FloodNode final : public sim::NodeProgram {
 
  private:
   void send_over_subset(sim::Context& ctx,
-                        const std::shared_ptr<const std::vector<NodeId>>& batch) {
+                        const std::shared_ptr<const std::vector<NodeId>>& batch,
+                        std::uint32_t hops_left) {
     for (const EdgeId e : ctx.incident_edges()) {
       if (!(*edge_in_)[e]) continue;
-      ctx.send(e, MsgOrigins{batch},
+      ctx.send(e, MsgOrigins{batch, hops_left},
                static_cast<std::uint32_t>(batch->size()));
     }
   }
@@ -97,7 +128,9 @@ class FloodNode final : public sim::NodeProgram {
   unsigned send_round_ = 0;
   bool finished_ = false;
   std::vector<NodeId> known_;
-  std::vector<bool> seen_;
+  // best_hops_[u] = largest remaining hop budget this node has seen for
+  // origin u (-1 = never heard). In LOCAL mode it only ever improves once.
+  std::vector<std::int32_t> best_hops_;
 };
 
 }  // namespace
@@ -110,19 +143,23 @@ std::vector<EdgeId> all_edges(const Graph& g) {
 
 BroadcastRun run_tlocal_broadcast(const Graph& g,
                                   const std::vector<EdgeId>& edges,
-                                  unsigned rounds, std::uint64_t seed) {
+                                  unsigned rounds, std::uint64_t seed,
+                                  std::optional<sim::CongestConfig> congest) {
   auto edge_in = std::make_shared<std::vector<bool>>(g.num_edges(), false);
   for (const EdgeId e : edges) {
     FL_REQUIRE(e < g.num_edges(), "broadcast edge id out of range");
     (*edge_in)[e] = true;
   }
   sim::Network net(g, sim::Knowledge::EdgeIds, seed);
+  // No override: keep the constructor's default (the FL_SIM_CONGEST probe).
+  if (congest.has_value()) net.set_congest(*congest);
   net.install([&](NodeId v) {
     return std::make_unique<FloodNode>(v, edge_in, rounds, g.num_nodes());
   });
 
   BroadcastRun run;
-  run.stats = net.run(static_cast<std::size_t>(rounds) + 4);
+  const std::size_t cap = static_cast<std::size_t>(rounds) + 4;
+  run.stats = net.run_until_drained(cap, /*hard_cap=*/cap * 4096);
   FL_REQUIRE(run.stats.terminated, "broadcast did not terminate");
   run.metrics = net.metrics();
   run.reached.reserve(g.num_nodes());

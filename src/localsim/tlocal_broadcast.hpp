@@ -8,12 +8,22 @@
 // O(R · |S|) total — with H an α-spanner and R = αt this is the
 // Õ(t · n^{1+ε}) of Lemma 12; with H = G and R = t it is the Θ(t·m)
 // baseline.
+//
+// Under an enforced CONGEST budget (sim/congest.hpp) the same protocol
+// runs with per-hop budgets instead of the round counter: every origin
+// travels at most R hops, bundles are grouped by remaining hop budget, and
+// stragglers keep being recorded and re-forwarded after the local send
+// schedule ends. Coverage is therefore still exactly B_{H,R}(v) — the
+// budget stretches RunStats.rounds (multi-word bundles crawl through
+// B-word edges) without shrinking what anyone learns.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/congest.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 
@@ -27,10 +37,14 @@ struct BroadcastRun {
 };
 
 /// Flood origin ids for `rounds` rounds over the subgraph given by `edges`
-/// (pass all edge ids for G itself). Every node is an origin.
+/// (pass all edge ids for G itself). Every node is an origin. `congest`
+/// overrides the network's bandwidth budget (default: the FL_SIM_CONGEST
+/// environment probe, else unlimited); with a finite Defer budget the run
+/// takes more rounds but reaches the same sets.
 BroadcastRun run_tlocal_broadcast(
     const graph::Graph& g, const std::vector<graph::EdgeId>& edges,
-    unsigned rounds, std::uint64_t seed);
+    unsigned rounds, std::uint64_t seed,
+    std::optional<sim::CongestConfig> congest = std::nullopt);
 
 /// Convenience: all edges of g (the native Θ(t·m) variant).
 std::vector<graph::EdgeId> all_edges(const graph::Graph& g);

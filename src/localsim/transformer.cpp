@@ -67,13 +67,15 @@ std::vector<std::uint64_t> evaluate_from_collections(
 }  // namespace
 
 ExecutionReport run_native(const Graph& g, const LocalAlgorithm& alg,
-                           std::uint64_t seed) {
+                           std::uint64_t seed,
+                           std::optional<sim::CongestConfig> congest) {
   const unsigned t = alg.radius(g);
-  const auto broadcast = run_tlocal_broadcast(g, all_edges(g), t, seed);
+  const auto broadcast = run_tlocal_broadcast(g, all_edges(g), t, seed, congest);
   ExecutionReport rep;
   rep.outputs = evaluate_from_collections(g, alg, t, broadcast.reached);
   rep.rounds = broadcast.stats.rounds;
   rep.messages = broadcast.stats.messages;
+  rep.deferrals = broadcast.metrics.deferrals_total;
   rep.broadcast_messages = broadcast.stats.messages;
   rep.broadcast_rounds = broadcast.stats.rounds;
   rep.spanner_edges = g.num_edges();
@@ -82,16 +84,18 @@ ExecutionReport run_native(const Graph& g, const LocalAlgorithm& alg,
 
 ExecutionReport run_over_spanner(const Graph& g, const LocalAlgorithm& alg,
                                  const std::vector<graph::EdgeId>& spanner,
-                                 double alpha, std::uint64_t seed) {
+                                 double alpha, std::uint64_t seed,
+                                 std::optional<sim::CongestConfig> congest) {
   FL_REQUIRE(alpha >= 1.0, "stretch must be >= 1");
   const unsigned t = alg.radius(g);
   const auto radius = static_cast<unsigned>(
       std::ceil(alpha * static_cast<double>(t)));
-  const auto broadcast = run_tlocal_broadcast(g, spanner, radius, seed);
+  const auto broadcast = run_tlocal_broadcast(g, spanner, radius, seed, congest);
   ExecutionReport rep;
   rep.outputs = evaluate_from_collections(g, alg, t, broadcast.reached);
   rep.rounds = broadcast.stats.rounds;
   rep.messages = broadcast.stats.messages;
+  rep.deferrals = broadcast.metrics.deferrals_total;
   rep.broadcast_messages = broadcast.stats.messages;
   rep.broadcast_rounds = broadcast.stats.rounds;
   rep.spanner_edges = spanner.size();
@@ -100,10 +104,12 @@ ExecutionReport run_over_spanner(const Graph& g, const LocalAlgorithm& alg,
 }
 
 ExecutionReport run_simulated(const Graph& g, const LocalAlgorithm& alg,
-                              const core::SamplerConfig& sampler) {
+                              const core::SamplerConfig& sampler,
+                              std::optional<sim::CongestConfig> congest) {
   const auto spanner_run = core::run_distributed_sampler(g, sampler);
   ExecutionReport rep = run_over_spanner(
-      g, alg, spanner_run.edges, spanner_run.stretch_bound, sampler.seed);
+      g, alg, spanner_run.edges, spanner_run.stretch_bound, sampler.seed,
+      congest);
   rep.spanner_messages = spanner_run.stats.messages;
   rep.spanner_rounds = spanner_run.stats.rounds;
   rep.rounds += spanner_run.stats.rounds;

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/config.hpp"
 #include "localsim/local_algorithm.hpp"
+#include "sim/congest.hpp"
 #include "sim/metrics.hpp"
 
 namespace fl::localsim {
@@ -26,6 +28,7 @@ struct ExecutionReport {
   std::vector<std::uint64_t> outputs;
   std::size_t rounds = 0;
   std::uint64_t messages = 0;
+  std::uint64_t deferrals = 0;  ///< congest-mode message-round delays
 
   // Simulated path only: stage breakdown.
   std::uint64_t spanner_messages = 0;
@@ -37,15 +40,23 @@ struct ExecutionReport {
 };
 
 /// Native LOCAL execution: t rounds of bundled flooding over G, then local
-/// evaluation. Θ(t·m) messages — the baseline being improved.
+/// evaluation. Θ(t·m) messages — the baseline being improved. `congest`
+/// overrides the broadcast network's bandwidth budget (default: the
+/// FL_SIM_CONGEST probe, else unlimited); a finite Defer budget stretches
+/// the reported rounds without changing the outputs.
 ExecutionReport run_native(const graph::Graph& g, const LocalAlgorithm& alg,
-                           std::uint64_t seed);
+                           std::uint64_t seed,
+                           std::optional<sim::CongestConfig> congest =
+                               std::nullopt);
 
 /// Message-reduced execution via the distributed Sampler spanner.
 /// `sampler` supplies (k=γ, h, constants); the broadcast radius is
-/// stretch_bound() · t.
+/// stretch_bound() · t. `congest` applies to the broadcast stage (the
+/// sampler stage takes its budget from `sampler.congest`, see config.hpp).
 ExecutionReport run_simulated(const graph::Graph& g, const LocalAlgorithm& alg,
-                              const core::SamplerConfig& sampler);
+                              const core::SamplerConfig& sampler,
+                              std::optional<sim::CongestConfig> congest =
+                                  std::nullopt);
 
 /// Like run_simulated but over a caller-provided spanner (used by the
 /// two-stage scheme of Theorem 3's second branch, where stage 1's output
@@ -53,6 +64,8 @@ ExecutionReport run_simulated(const graph::Graph& g, const LocalAlgorithm& alg,
 ExecutionReport run_over_spanner(const graph::Graph& g,
                                  const LocalAlgorithm& alg,
                                  const std::vector<graph::EdgeId>& spanner,
-                                 double alpha, std::uint64_t seed);
+                                 double alpha, std::uint64_t seed,
+                                 std::optional<sim::CongestConfig> congest =
+                                     std::nullopt);
 
 }  // namespace fl::localsim

@@ -1,0 +1,41 @@
+#include "sim/congest.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace fl::sim {
+
+CongestConfig default_congest_config() {
+  CongestConfig cfg;
+  const char* env = std::getenv("FL_SIM_CONGEST");
+  if (env == nullptr || *env == '\0') return cfg;
+  // Digits only up front: strtoull would happily wrap "-5" into a huge
+  // "valid" budget, silently ignoring what the user asked for.
+  FL_REQUIRE(*env >= '0' && *env <= '9',
+             "FL_SIM_CONGEST must start with a positive word budget");
+  char* end = nullptr;
+  const unsigned long long words = std::strtoull(env, &end, 10);
+  FL_REQUIRE(end != env && words >= 1,
+             "FL_SIM_CONGEST must start with a positive word budget");
+  FL_REQUIRE(words < CongestConfig::kUnlimited,
+             "FL_SIM_CONGEST budget out of range");
+  cfg.words_per_edge_per_round = words;
+  if (*end == ':') {
+    ++end;
+    if (std::strcmp(end, "strict") == 0) {
+      cfg.policy = CongestPolicy::Strict;
+    } else {
+      FL_REQUIRE(std::strcmp(end, "defer") == 0,
+                 "FL_SIM_CONGEST policy must be 'defer' or 'strict'");
+      cfg.policy = CongestPolicy::Defer;
+    }
+  } else {
+    FL_REQUIRE(*end == '\0',
+               "FL_SIM_CONGEST must be '<words>' or '<words>:<policy>'");
+  }
+  return cfg;
+}
+
+}  // namespace fl::sim

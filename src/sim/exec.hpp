@@ -103,6 +103,7 @@ struct SendLane {
   std::vector<std::uint32_t> dest_counts;  // size n
   std::vector<std::uint32_t> cursors;      // size n
   std::uint64_t words = 0;
+  std::uint64_t max_words = 0;  // largest single size hint, monotone
   std::int64_t done_count = 0;
 };
 

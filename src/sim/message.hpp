@@ -3,8 +3,12 @@
 // The LOCAL model places no bound on message size, so payloads are
 // type-erased: each protocol defines its own payload structs and the
 // simulator only meters *counts* (the paper's message complexity is a
-// count). An optional `size_hint_words` lets protocols self-report logical
-// size so CONGEST-style comparisons remain possible.
+// count). `size_hint_words` is the protocol's self-reported logical size
+// (clamped to >= 1 at enqueue — every message costs at least one word),
+// and CONGEST-style comparisons are *enforced*, not just possible: under
+// a finite sim::CongestConfig budget the merge barrier meters these hints
+// against a per-directed-edge words-per-round limit, deferring (or, in
+// Strict mode, rejecting) the overflow — see sim/congest.hpp.
 //
 // Payloads ride in fl::sim::Payload (payload.hpp), a move-only small-buffer
 // container built for the delivery hot path: trivially-copyable structs up

@@ -3,7 +3,16 @@
 // The network updates these counters as it routes; protocols never touch
 // them. `messages_total` counts every Message object delivered (the paper's
 // message complexity); `words_total` additionally weights by the protocol's
-// size hints for CONGEST-flavoured comparisons.
+// size hints — every message costs at least one word (enqueue clamps a
+// zero hint up), so word complexity can never be under-reported by an
+// enqueue path that forgot to self-report a size.
+//
+// Under an enforced CongestConfig (congest.hpp) delivery may lag sending:
+// `messages_per_round`/`messages_total` count *deliveries* (so a budgeted
+// run shows its stretched schedule), `words_total` and `messages_per_node`
+// count at *send* time (they are delivery-schedule invariant), and
+// `deferrals_total` counts how many times a message was bumped to a later
+// round by a full edge (one message deferred for k rounds counts k).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,11 @@ struct Metrics {
   std::size_t rounds = 0;
   std::uint64_t messages_total = 0;
   std::uint64_t words_total = 0;
+  std::uint64_t deferrals_total = 0;  ///< congest-mode message-round delays
+  /// Largest single self-reported message size seen so far — the smallest
+  /// per-edge budget under which no message is individually oversized
+  /// (CongestPolicy::Strict's floor, and the scale for schedule slack).
+  std::uint64_t max_message_words = 0;
   std::vector<std::uint64_t> messages_per_round;
   std::vector<std::uint64_t> messages_per_node;  ///< sent, indexed by node
 

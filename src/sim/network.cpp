@@ -57,7 +57,7 @@ util::Xoshiro256& Context::rng() { return net_->node_rngs_[self_]; }
 Network::Network(const graph::Graph& graph, Knowledge knowledge,
                  std::uint64_t seed)
     : graph_(&graph), knowledge_(knowledge), streams_(seed),
-      par_(default_parallel_config()) {
+      par_(default_parallel_config()), congest_(default_congest_config()) {
   const NodeId n = graph.num_nodes();
   FL_REQUIRE(n >= 1, "network needs at least one node");
   log_n_bound_ = std::log2(std::max<double>(2.0, n));
@@ -95,6 +95,15 @@ void Network::set_parallelism(ParallelConfig par) {
   // wrapped or garbage thread count fails loudly instead of fork-bombing.
   FL_REQUIRE(par.threads <= 1024, "parallelism capped at 1024 threads");
   par_ = par;
+}
+
+void Network::set_congest(CongestConfig congest) {
+  FL_REQUIRE(!started_, "cannot change the congest budget after the run started");
+  // A 0-word budget could never admit anything: Defer would carry forever
+  // and Strict would reject the first send. kUnlimited means LOCAL.
+  FL_REQUIRE(congest.words_per_edge_per_round >= 1,
+             "congest budget must be at least 1 word per edge per round");
+  congest_ = congest;
 }
 
 std::span<const Message> Network::inbox_span(NodeId v) const {
@@ -195,7 +204,11 @@ void Network::enqueue(SendLane& lane, NodeId from, EdgeId edge,
   m.from = from;
   m.to = to;
   m.payload = std::move(payload);
-  m.size_hint_words = size_hint_words;
+  // A message costs at least one word no matter what the sender reports:
+  // a computed-zero hint would free-ride on words_total (and, in congest
+  // mode, on the per-edge budget), making an O(n)-message protocol look
+  // word-free. Clamp at the single choke point every send goes through.
+  m.size_hint_words = size_hint_words == 0 ? 1 : size_hint_words;
   // Per-message accounting happens here rather than at delivery — every
   // enqueued message is delivered exactly once next round, so the totals
   // are identical and the merge stays a pure data-movement pass. All of it
@@ -204,6 +217,7 @@ void Network::enqueue(SendLane& lane, NodeId from, EdgeId edge,
   // the lane's per-destination array, and messages_per_node is indexed by
   // the sender.
   lane.words += m.size_hint_words;
+  if (m.size_hint_words > lane.max_words) lane.max_words = m.size_hint_words;
   ++metrics_.messages_per_node[m.from];
   ++lane.dest_counts[m.to];
   lane.outbox.push_back(std::move(m));
@@ -244,6 +258,15 @@ void Network::begin_if_needed() {
   }
   if (lanes_.size() > 1) pool_ = std::make_unique<ExecPool>(
       static_cast<unsigned>(lanes_.size()));
+  if (congest_.enforced()) {
+    // Budget state is per *directed* edge (index 2e + direction); carry
+    // queues and admitted buffers are per destination shard. None of it
+    // exists in LOCAL mode, which keeps the unbudgeted engine untouched.
+    congest_edges_.assign(2 * static_cast<std::size_t>(graph_->num_edges()),
+                          EdgeBudgetState{});
+    congest_chunks_.resize(shards_.size());
+    congest_counts_.assign(n, 0);
+  }
   phase_step(/*starting=*/true);
   phase_merge();
 }
@@ -284,6 +307,11 @@ void Network::phase_merge() {
   std::uint64_t count = 0;
   for (const auto& lane : lanes_) count += lane.outbox.size();
   merge_lanes(count);
+  // Phase 2b — congest admission: the merged arena is the canonical
+  // (thread-count-invariant) candidate order, so metering it — rather
+  // than the per-lane outboxes — keeps budgeted delivery bit-identical
+  // across lane counts for free. `count` becomes what was *delivered*.
+  if (congest_.enforced()) count = congest_admit();
   metrics_.messages_total += count;
   metrics_.messages_per_round.push_back(count);
   delivered_last_round_ = count;
@@ -376,7 +404,124 @@ void Network::merge_lanes(std::uint64_t total) {
   for (auto& lane : lanes_) {
     metrics_.words_total += lane.words;
     lane.words = 0;
+    if (lane.max_words > metrics_.max_message_words)
+      metrics_.max_message_words = lane.max_words;  // lane max is monotone
   }
+}
+
+std::uint64_t Network::congest_admit() {
+  // The CONGEST admission pass (congest.hpp). Candidates for node v this
+  // round are its chunk's carried messages for v (FIFO, from earlier
+  // rounds) followed by v's freshly merged arena segment; both orders are
+  // bit-identical across thread counts, so admission is too. Per directed
+  // edge the rule is a B-words-per-round FIFO channel:
+  //
+  //   * on the edge's first touch of a round its capacity is B, plus the
+  //     capacity it banked while blocked in the immediately preceding
+  //     round(s) — that is what lets one K-word message cross in
+  //     ceil(K / B) rounds instead of livelocking;
+  //   * a message is admitted iff the edge still has capacity >= its
+  //     words and no earlier message was deferred this round (FIFO: once
+  //     one message on the edge waits, everything behind it waits);
+  //   * under Strict nothing ever waits — the first overflow throws.
+  //
+  // Three steps mirror the offsets pass: decide (chunk-parallel, all
+  // state destination-owned), prefix chunk totals (sequential O(S)),
+  // relocate into a fresh arena + rewrite offsets (chunk-parallel).
+  const std::uint64_t budget = congest_.words_per_edge_per_round;
+  const bool strict = congest_.policy == CongestPolicy::Strict;
+  const std::uint64_t stamp = round_ + 1;  // this round; never the 0 init
+  auto decide = [&](unsigned c) {
+    const ShardRange range = shards_[c];
+    CongestChunk& chunk = congest_chunks_[c];
+    chunk.admitted.clear();
+    chunk.carry_next.clear();
+    auto consider = [&](Message& m) {
+      const std::size_t key = 2 * static_cast<std::size_t>(m.edge) +
+                              (m.to > m.from ? 1 : 0);
+      EdgeBudgetState& st = congest_edges_[key];
+      if (st.stamp != stamp) {
+        const bool backlogged = st.blocked && st.stamp + 1 == stamp;
+        st.remaining = (backlogged ? st.remaining : 0) + budget;
+        st.blocked = false;
+        st.stamp = stamp;
+      }
+      const std::uint64_t w = m.size_hint_words;
+      if (!st.blocked && st.remaining >= w) {
+        st.remaining -= w;
+        chunk.admitted.push_back(std::move(m));
+        return;
+      }
+      if (strict) {
+        const std::type_info* held = m.payload.type();
+        throw CongestViolation(
+            "CONGEST budget exceeded: edge " + std::to_string(m.edge) +
+                " (" + std::to_string(m.from) + " -> " +
+                std::to_string(m.to) + ") would carry " +
+                std::to_string(budget - st.remaining + w) + " words in round " +
+                std::to_string(round_) + " (budget " + std::to_string(budget) +
+                " words/edge/round); offending payload: " +
+                (held == nullptr ? std::string("<empty>")
+                                 : detail::type_name(*held)),
+            m.edge, m.from, m.to, round_, budget - st.remaining + w, budget);
+      }
+      st.blocked = true;
+      ++chunk.deferred_events;
+      chunk.carry_next.push_back(std::move(m));
+    };
+    std::size_t cursor = 0;
+    for (NodeId v = range.begin; v < range.end; ++v) {
+      const std::size_t before = chunk.admitted.size();
+      for (; cursor < chunk.carry.size() && chunk.carry[cursor].to == v;
+           ++cursor)
+        consider(chunk.carry[cursor]);
+      for (std::uint32_t i = arena_offsets_[v]; i < arena_offsets_[v + 1]; ++i)
+        consider(arena_[i]);
+      congest_counts_[v] =
+          static_cast<std::uint32_t>(chunk.admitted.size() - before);
+    }
+    chunk_weight_[c] = chunk.admitted.size();
+  };
+  if (pool_) {
+    pool_->run(decide);
+  } else {
+    decide(0);
+  }
+  std::uint64_t admitted_total = 0;
+  carry_total_ = 0;
+  for (unsigned c = 0; c < congest_chunks_.size(); ++c) {
+    CongestChunk& chunk = congest_chunks_[c];
+    chunk.carry.swap(chunk.carry_next);
+    carry_total_ += chunk.carry.size();
+    metrics_.deferrals_total += chunk.deferred_events;
+    chunk.deferred_events = 0;
+    const std::uint64_t w = chunk_weight_[c];
+    chunk_weight_[c] = admitted_total;  // becomes the chunk's arena base
+    admitted_total += w;
+  }
+  FL_REQUIRE(admitted_total < std::numeric_limits<std::uint32_t>::max(),
+             "more than 2^32 messages admitted in one round");
+  congest_arena_.resize(static_cast<std::size_t>(admitted_total));
+  auto relocate = [&](unsigned c) {
+    const ShardRange range = shards_[c];
+    CongestChunk& chunk = congest_chunks_[c];
+    auto base = static_cast<std::uint32_t>(chunk_weight_[c]);
+    std::move(chunk.admitted.begin(), chunk.admitted.end(),
+              congest_arena_.begin() + base);
+    for (NodeId v = range.begin; v < range.end; ++v) {
+      arena_offsets_[v] = base;
+      base += congest_counts_[v];
+    }
+  };
+  if (pool_) {
+    pool_->run(relocate);
+  } else {
+    relocate(0);
+  }
+  arena_offsets_[graph_->num_nodes()] =
+      static_cast<std::uint32_t>(admitted_total);
+  arena_.swap(congest_arena_);
+  return admitted_total;
 }
 
 bool Network::all_done() const {
@@ -389,8 +534,9 @@ bool Network::all_done() const {
 
 bool Network::quiescent() const {
   // Phase 0 — quiesce check: no messages in flight (the last merge counted
-  // what it moved, O(1)) and every program done (O(S) counter sum).
-  return delivered_last_round_ == 0 && all_done();
+  // what it moved, O(1)), nothing parked in a congest carry queue (O(1),
+  // summed at the admission pass), and every program done (O(S) sum).
+  return delivered_last_round_ == 0 && carry_total_ == 0 && all_done();
 }
 
 RunStats Network::run(std::size_t max_rounds) {
@@ -408,6 +554,19 @@ RunStats Network::run(std::size_t max_rounds) {
   }
   stats.rounds = round_;
   stats.messages = metrics_.messages_total;
+  return stats;
+}
+
+RunStats Network::run_until_drained(std::size_t max_rounds,
+                                    std::size_t hard_cap) {
+  std::size_t cap = max_rounds;
+  RunStats stats = run(cap);
+  if (congest_.enforced()) {
+    while (!stats.terminated && cap < hard_cap) {
+      cap = std::min(cap * 2, hard_cap);
+      stats = run(cap);
+    }
+  }
   return stats;
 }
 

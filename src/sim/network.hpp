@@ -19,6 +19,14 @@
 //     contiguous arena, counting-sorted by destination with CSR-style
 //     per-node offsets (counts maintained incrementally by the send path),
 //     bit-identical to sequential delivery for every lane count.
+//
+// With an enforced CongestConfig (congest.hpp) the merge grows a fourth
+// step: an admission pass over the freshly merged arena that meters words
+// per directed edge per round and defers (or, under Strict, rejects) the
+// overflow. The pass is chunk-parallel over the destination shards — a
+// directed edge delivers to exactly one node, so its budget tally and
+// carry queue belong to exactly one chunk — and preserves the engine's
+// bit-determinism across thread counts.
 #pragma once
 
 #include <functional>
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/congest.hpp"
 #include "sim/exec.hpp"
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
@@ -62,6 +71,16 @@ class Network {
   /// layered protocols that interleave phases.
   void step(std::size_t rounds);
 
+  /// run(max_rounds), then — only under an enforced Defer budget — keep
+  /// doubling the round cap (up to `hard_cap`) until the carry queues
+  /// drain and the run terminates. A budget stretches a protocol's
+  /// schedule by a workload-dependent factor (words per edge per LOCAL
+  /// round / budget); doubling discovers it instead of guessing, and each
+  /// re-run resumes where the previous one stopped, so total work stays
+  /// linear in the final round count. In LOCAL mode this is exactly
+  /// run(max_rounds).
+  RunStats run_until_drained(std::size_t max_rounds, std::size_t hard_cap);
+
   const graph::Graph& graph() const { return *graph_; }
   Knowledge knowledge() const { return knowledge_; }
   const Metrics& metrics() const { return metrics_; }
@@ -79,6 +98,19 @@ class Network {
   /// so this is purely a wall-clock knob.
   void set_parallelism(ParallelConfig par);
   ParallelConfig parallelism() const { return par_; }
+
+  /// CONGEST bandwidth budget (defaults to FL_SIM_CONGEST, else unlimited
+  /// = plain LOCAL); only legal before the first round. With a finite
+  /// budget, Defer stretches the round schedule (carry queues at the merge
+  /// barrier) and Strict throws CongestViolation on the first over-budget
+  /// edge-round. Results stay bit-identical across thread counts and
+  /// balance modes for any fixed config.
+  void set_congest(CongestConfig congest);
+  CongestConfig congest() const { return congest_; }
+
+  /// Messages held back by the budget and not yet delivered. Zero in LOCAL
+  /// mode; a budgeted run is quiescent only once this drains.
+  std::uint64_t carried_messages() const { return carry_total_; }
 
   /// Messages delivered to `v` this round, valid until the next round
   /// advances. Exposed for tests; programs receive it via on_round.
@@ -113,6 +145,7 @@ class Network {
   void phase_step(bool starting);
   void phase_merge();
   void merge_lanes(std::uint64_t total);
+  std::uint64_t congest_admit();  // budget pass over the merged arena
   bool all_done() const;  // O(S) sum of the lanes' done-counters
 
   const graph::Graph* graph_;
@@ -179,6 +212,36 @@ class Network {
   std::vector<Message> arena_;
   std::vector<std::uint32_t> arena_offsets_;   // size n + 1
   std::vector<std::uint64_t> chunk_weight_;    // offsets scratch, size S
+
+  // CONGEST bandwidth budget (congest.hpp). When enforced, the merge ends
+  // with an admission pass over the fresh arena: per directed edge the
+  // pass meters words against `congest_.words_per_edge_per_round`,
+  // admitting in FIFO order (this chunk's carry from earlier rounds, then
+  // this round's arrivals) and spilling the overflow back into the
+  // chunk's carry. All admission state is destination-owned: a directed
+  // edge (edge id + direction) delivers to exactly one node, so chunk c —
+  // the destination shard shards_[c] — is the only writer of its edges'
+  // budget tallies and of its carry queues, and the pass parallelizes
+  // over chunks with no shared writes, exactly like the offsets pass.
+  CongestConfig congest_;
+  struct EdgeBudgetState {
+    std::uint64_t remaining = 0;  ///< capacity left in the stamped round;
+                                  ///< banks across rounds while blocked
+    std::uint64_t stamp = 0;      ///< round_ + 1 of the last touch
+    bool blocked = false;         ///< a message deferred in stamped round
+  };
+  std::vector<EdgeBudgetState> congest_edges_;  // size 2m: 2e + (to>from)
+  struct CongestChunk {
+    std::vector<Message> carry;       // deferred; destination-ascending,
+                                      // FIFO within each directed edge
+    std::vector<Message> carry_next;  // double buffer for the next round
+    std::vector<Message> admitted;    // this round, destination-ascending
+    std::uint64_t deferred_events = 0;
+  };
+  std::vector<CongestChunk> congest_chunks_;   // one per shard
+  std::vector<std::uint32_t> congest_counts_;  // admitted per node, size n
+  std::vector<Message> congest_arena_;         // swap target for arena_
+  std::uint64_t carry_total_ = 0;  // messages across all carry queues
 
   // Messages moved into the arena by the last merge — the O(1) half of
   // the quiesce check.

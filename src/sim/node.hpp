@@ -59,9 +59,14 @@ class Context {
   /// ID of the other endpoint of `edge` (requires KT1).
   graph::NodeId neighbor(graph::EdgeId edge) const;
 
-  /// Send `payload` over `edge` this round; delivered next round. Any
-  /// movable value converts to Payload; small trivially-copyable structs
-  /// travel allocation-free (see payload.hpp).
+  /// Send `payload` over `edge` this round; delivered next round — unless
+  /// the network enforces a CONGEST budget (sim/congest.hpp), in which
+  /// case delivery may slip to a later round once the edge's words-per-
+  /// round limit fills (order per edge stays FIFO). `size_hint_words` is
+  /// the message's logical size against that budget and the words metric;
+  /// it is clamped to at least 1 (a message is never free). Any movable
+  /// value converts to Payload; small trivially-copyable structs travel
+  /// allocation-free (see payload.hpp).
   void send(graph::EdgeId edge, Payload payload,
             std::uint32_t size_hint_words = 1);
 

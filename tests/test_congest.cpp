@@ -1,0 +1,507 @@
+// Tests for the CONGEST bandwidth-budget engine (sim/congest.hpp): the
+// FL_SIM_CONGEST probe, budget validation, Defer's carry-queue semantics
+// (FIFO per directed edge, ceil(K/B)-round crossings, stretched-but-
+// complete schedules), Strict's diagnostics, bit-determinism of budgeted
+// runs across thread counts and balance modes, and the words-accounting
+// fixes the budget engine depends on (minimum one word per message,
+// pre-run sends).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/distributed_sampler.hpp"
+#include "graph/generators.hpp"
+#include "localsim/tlocal_broadcast.hpp"
+#include "sim/network.hpp"
+#include "util/assert.hpp"
+
+namespace fl::sim {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+CongestConfig defer(std::uint64_t words) {
+  return CongestConfig{words, CongestPolicy::Defer};
+}
+
+CongestConfig strict_budget(std::uint64_t words) {
+  return CongestConfig{words, CongestPolicy::Strict};
+}
+
+// ------------------------------------------------------- config plumbing
+
+TEST(CongestConfig, EnvProbeParsesBudgetAndPolicy) {
+  struct EnvGuard {
+    ~EnvGuard() { unsetenv("FL_SIM_CONGEST"); }
+  } guard;
+
+  unsetenv("FL_SIM_CONGEST");
+  EXPECT_FALSE(default_congest_config().enforced());
+
+  setenv("FL_SIM_CONGEST", "64", 1);
+  CongestConfig cfg = default_congest_config();
+  EXPECT_TRUE(cfg.enforced());
+  EXPECT_EQ(cfg.words_per_edge_per_round, 64u);
+  EXPECT_EQ(cfg.policy, CongestPolicy::Defer);
+
+  setenv("FL_SIM_CONGEST", "8:strict", 1);
+  cfg = default_congest_config();
+  EXPECT_EQ(cfg.words_per_edge_per_round, 8u);
+  EXPECT_EQ(cfg.policy, CongestPolicy::Strict);
+
+  setenv("FL_SIM_CONGEST", "8:defer", 1);
+  EXPECT_EQ(default_congest_config().policy, CongestPolicy::Defer);
+
+  setenv("FL_SIM_CONGEST", "0", 1);
+  EXPECT_THROW(default_congest_config(), util::ContractViolation);
+  setenv("FL_SIM_CONGEST", "-5", 1);  // must not wrap into a huge budget
+  EXPECT_THROW(default_congest_config(), util::ContractViolation);
+  setenv("FL_SIM_CONGEST", "8:fast", 1);
+  EXPECT_THROW(default_congest_config(), util::ContractViolation);
+  setenv("FL_SIM_CONGEST", "words", 1);
+  EXPECT_THROW(default_congest_config(), util::ContractViolation);
+}
+
+TEST(CongestConfig, NetworkPicksUpTheEnvironmentDefault) {
+  const Graph g = graph::path(2);
+  setenv("FL_SIM_CONGEST", "16:strict", 1);
+  Network net(g, Knowledge::EdgeIds, 1);
+  unsetenv("FL_SIM_CONGEST");
+  EXPECT_TRUE(net.congest().enforced());
+  EXPECT_EQ(net.congest().words_per_edge_per_round, 16u);
+  EXPECT_EQ(net.congest().policy, CongestPolicy::Strict);
+}
+
+TEST(CongestConfig, SetCongestValidation) {
+  const Graph g = graph::ring(4);
+  Network net(g, Knowledge::EdgeIds, 1);
+  EXPECT_THROW(net.set_congest(defer(0)), util::ContractViolation);
+  net.set_congest(defer(4));
+  EXPECT_EQ(net.congest().words_per_edge_per_round, 4u);
+  net.install([](NodeId) {
+    class P final : public NodeProgram {
+     public:
+      void on_start(Context&) override {}
+      void on_round(Context&, std::span<const Message>) override {}
+      bool done() const override { return true; }
+    };
+    return std::make_unique<P>();
+  });
+  net.run(5);
+  EXPECT_THROW(net.set_congest(defer(8)), util::ContractViolation);
+}
+
+// -------------------------------------------------- words accounting fixes
+
+TEST(CongestWords, ZeroWordHintClampsToOneWord) {
+  // A protocol that computes a zero size hint must not free-ride on the
+  // words metric (or, under a budget, on the per-edge bandwidth).
+  const Graph g = graph::path(2);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.install([](NodeId v) {
+    class P final : public NodeProgram {
+     public:
+      explicit P(NodeId self) : self_(self) {}
+      void on_start(Context& ctx) override {
+        if (self_ == 0) ctx.send(ctx.incident_edges()[0], 0, /*words=*/0);
+      }
+      void on_round(Context&, std::span<const Message>) override {}
+      bool done() const override { return true; }
+
+     private:
+      NodeId self_;
+    };
+    return std::make_unique<P>(v);
+  });
+  net.run(5);
+  EXPECT_EQ(net.metrics().messages_total, 1u);
+  EXPECT_EQ(net.metrics().words_total, 1u);
+}
+
+TEST(CongestWords, PreRunSendsLandInWordsTotal) {
+  // Regression for the two-argument pre-run Context path: words sent
+  // before run() must be flushed into words_total by the first merge,
+  // under any thread count.
+  const Graph g = graph::path(2);
+  for (const unsigned threads : {1u, 8u}) {
+    Network net(g, Knowledge::EdgeIds, 1);
+    net.set_parallelism({threads});
+    net.install([](NodeId) {
+      class P final : public NodeProgram {
+       public:
+        void on_start(Context&) override {}
+        void on_round(Context&, std::span<const Message>) override {}
+        bool done() const override { return true; }
+      };
+      return std::make_unique<P>();
+    });
+    Context pre(net, 1);
+    pre.send(pre.incident_edges()[0], unsigned{42}, /*words=*/7);
+    pre.send(pre.incident_edges()[0], unsigned{43}, /*words=*/0);  // clamps
+    const RunStats stats = net.run(5);
+    EXPECT_TRUE(stats.terminated);
+    EXPECT_EQ(stats.messages, 2u);
+    EXPECT_EQ(net.metrics().words_total, 8u) << "threads=" << threads;
+    EXPECT_EQ(net.metrics().messages_per_node[1], 2u);
+  }
+}
+
+// ----------------------------------------------------------- Defer policy
+
+/// Node 0 sends `count` messages of `words` words each over the single
+/// edge in round 0; node 1 logs (arrival round, payload).
+class WordBurst final : public NodeProgram {
+ public:
+  WordBurst(NodeId self, unsigned count, std::uint32_t words)
+      : self_(self), count_(count), words_(words) {}
+
+  std::vector<std::pair<std::size_t, unsigned>> got;
+
+  void on_start(Context& ctx) override {
+    if (self_ == 0)
+      for (unsigned i = 1; i <= count_; ++i)
+        ctx.send(ctx.incident_edges()[0], i, words_);
+  }
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
+    for (const auto& m : inbox)
+      got.emplace_back(ctx.round(), payload_as<unsigned>(m));
+  }
+  bool done() const override { return true; }
+
+ private:
+  NodeId self_;
+  unsigned count_;
+  std::uint32_t words_;
+};
+
+TEST(CongestDefer, CarryDrainsInFifoOrderOneMessagePerRound) {
+  // Four 2-word messages over one edge at 2 words/round: exactly one
+  // message fits per round, so delivery is 1, 2, 3, 4 in rounds 1..4 —
+  // the carry queue preserves send order while the schedule stretches.
+  const Graph g = graph::path(2);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.set_congest(defer(2));
+  net.install_all<WordBurst>(4u, std::uint32_t{2});
+  const RunStats stats = net.run(50);
+  EXPECT_TRUE(stats.terminated);
+  EXPECT_EQ(stats.messages, 4u);
+  const auto& got = net.program_as<WordBurst>(1).got;
+  ASSERT_EQ(got.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(got[i].first, i + 1u) << "message " << i;  // one per round
+    EXPECT_EQ(got[i].second, i + 1u);                    // FIFO
+  }
+  EXPECT_EQ(net.metrics().deferrals_total, 3u + 2u + 1u);  // 3,2,1 re-queues
+  EXPECT_EQ(net.carried_messages(), 0u);
+}
+
+TEST(CongestDefer, OversizedMessageCrossesInCeilWordsOverBudgetRounds) {
+  // One 10-word message through a 3-word edge: capacity banks while the
+  // edge is blocked (3, 6, 9, 12), so the message lands in round
+  // ceil(10/3) = 4 instead of livelocking.
+  const Graph g = graph::path(2);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.set_congest(defer(3));
+  net.install_all<WordBurst>(1u, std::uint32_t{10});
+  const RunStats stats = net.run(50);
+  EXPECT_TRUE(stats.terminated);
+  const auto& got = net.program_as<WordBurst>(1).got;
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 4u);
+  EXPECT_EQ(net.metrics().deferrals_total, 3u);  // bumped in rounds 0..2
+}
+
+TEST(CongestDefer, StrictlyMoreRoundsOnOverBudgetWorkload) {
+  // The acceptance shape: identical workload, LOCAL vs finite budget —
+  // same messages and words in the end, strictly more rounds, and the
+  // per-round delivery profile visibly stretched.
+  const Graph g = graph::star(6);
+  auto run_once = [&](CongestConfig congest) {
+    Network net(g, Knowledge::EdgeIds, 3);
+    net.set_congest(congest);
+    net.install_all<WordBurst>(5u, std::uint32_t{4});
+    const RunStats stats = net.run(200);
+    EXPECT_TRUE(stats.terminated);
+    return std::tuple{stats.rounds, stats.messages,
+                      net.metrics().words_total,
+                      net.metrics().deferrals_total};
+  };
+  const auto local = run_once(CongestConfig{});
+  const auto budgeted = run_once(defer(4));
+  EXPECT_GT(std::get<0>(budgeted), std::get<0>(local));
+  EXPECT_EQ(std::get<1>(budgeted), std::get<1>(local));
+  EXPECT_EQ(std::get<2>(budgeted), std::get<2>(local));
+  EXPECT_EQ(std::get<3>(local), 0u);
+  EXPECT_GT(std::get<3>(budgeted), 0u);
+}
+
+TEST(CongestDefer, RunCanStopAndResumeWithCarryPending) {
+  // max_rounds expires while messages sit in carry queues: the run must
+  // report non-termination (the carry is in-flight traffic), and a later
+  // run() call must drain it.
+  const Graph g = graph::path(2);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.set_congest(defer(1));
+  net.install_all<WordBurst>(6u, std::uint32_t{1});
+  const RunStats mid = net.run(3);
+  EXPECT_FALSE(mid.terminated);
+  EXPECT_GT(net.carried_messages(), 0u);
+  const RunStats done = net.run(50);
+  EXPECT_TRUE(done.terminated);
+  EXPECT_EQ(net.carried_messages(), 0u);
+  EXPECT_EQ(done.messages, 6u);
+  EXPECT_EQ(net.program_as<WordBurst>(1).got.size(), 6u);
+}
+
+// ---------------------------------------------------------- Strict policy
+
+TEST(CongestStrict, ThrowsWithEdgeRoundAndPayloadDiagnostics) {
+  const Graph g = graph::path(2);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.set_congest(strict_budget(4));
+  net.install_all<WordBurst>(2u, std::uint32_t{3});  // 6 words > 4
+  try {
+    net.run(5);
+    FAIL() << "expected CongestViolation";
+  } catch (const CongestViolation& v) {
+    EXPECT_EQ(v.edge, 0u);
+    EXPECT_EQ(v.from, 0u);
+    EXPECT_EQ(v.to, 1u);
+    EXPECT_EQ(v.round, 0u);
+    EXPECT_EQ(v.words, 6u);
+    EXPECT_EQ(v.budget, 4u);
+    const std::string what = v.what();
+    EXPECT_NE(what.find("edge 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("round 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("unsigned int"), std::string::npos)
+        << "payload type missing from: " << what;
+  }
+}
+
+TEST(CongestStrict, SingleOversizedMessageIsAViolation) {
+  // Strict is a compliance check, not a scheduler: a message that could
+  // never fit any round's budget fails even alone on its edge.
+  const Graph g = graph::path(2);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.set_congest(strict_budget(4));
+  net.install_all<WordBurst>(1u, std::uint32_t{5});
+  EXPECT_THROW(net.run(5), CongestViolation);
+}
+
+TEST(CongestStrict, CompliantTrafficRunsToCompletionUnchanged) {
+  const Graph g = graph::star(5);
+  auto run_once = [&](CongestConfig congest) {
+    Network net(g, Knowledge::EdgeIds, 3);
+    net.set_congest(congest);
+    net.install_all<WordBurst>(2u, std::uint32_t{2});
+    const RunStats stats = net.run(50);
+    EXPECT_TRUE(stats.terminated);
+    return std::tuple{stats.rounds, stats.messages,
+                      net.program_as<WordBurst>(1).got};
+  };
+  EXPECT_EQ(run_once(CongestConfig{}), run_once(strict_budget(4)));
+}
+
+TEST(CongestStrict, ViolationSurfacesFromWorkerLanes) {
+  // The offending destination lives in a high shard; the admission pass
+  // runs on a worker thread there, and the pool must rethrow.
+  util::Xoshiro256 rng(8);
+  const Graph g = graph::random_tree(40, rng);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.set_parallelism({8});
+  net.set_congest(strict_budget(1));
+  net.install_all<WordBurst>(3u, std::uint32_t{1});  // 3 words > 1 per edge
+  EXPECT_THROW(net.run(5), CongestViolation);
+}
+
+// --------------------------------------- determinism across thread counts
+
+/// Chatty multi-word workload: pseudo-random payload sizes (1..6 words)
+/// over pseudo-randomly skipped edges for several rounds, so a small
+/// budget defers heavily and the carry queues see mixed traffic.
+class WordChatter final : public NodeProgram {
+ public:
+  WordChatter(NodeId self, unsigned active) : self_(self), active_(active) {}
+
+  std::vector<std::tuple<std::size_t, NodeId, EdgeId, std::uint64_t>> heard;
+
+  void on_start(Context& ctx) override { maybe_send(ctx); }
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
+    for (const auto& m : inbox) {
+      EXPECT_EQ(m.to, self_);
+      heard.emplace_back(ctx.round(), m.from, m.edge,
+                         payload_as<std::uint64_t>(m));
+    }
+    maybe_send(ctx);
+  }
+  bool done() const override { return true; }  // quiesce on silence
+
+ private:
+  void maybe_send(Context& ctx) {
+    if (ctx.round() >= active_) return;
+    for (const EdgeId e : ctx.incident_edges()) {
+      if (ctx.rng().bernoulli(0.25)) continue;
+      const std::uint64_t v = ctx.rng()();
+      ctx.send(e, v, static_cast<std::uint32_t>(1 + v % 6));
+    }
+  }
+
+  NodeId self_;
+  unsigned active_;
+};
+
+struct ChatterResult {
+  RunStats stats;
+  Metrics metrics;
+  std::vector<std::vector<std::tuple<std::size_t, NodeId, EdgeId,
+                                     std::uint64_t>>> logs;
+};
+
+ChatterResult run_word_chatter(const Graph& g, ParallelConfig par,
+                               CongestConfig congest) {
+  Network net(g, Knowledge::EdgeIds, 7);
+  net.set_parallelism(par);
+  net.set_congest(congest);
+  net.install_all<WordChatter>(6u);
+  ChatterResult res;
+  res.stats = net.run(600);
+  EXPECT_TRUE(res.stats.terminated);
+  res.metrics = net.metrics();
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    res.logs.push_back(net.program_as<WordChatter>(v).heard);
+  return res;
+}
+
+void expect_identical(const ChatterResult& a, const ChatterResult& b) {
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.terminated, b.stats.terminated);
+  EXPECT_EQ(a.metrics.messages_total, b.metrics.messages_total);
+  EXPECT_EQ(a.metrics.words_total, b.metrics.words_total);
+  EXPECT_EQ(a.metrics.deferrals_total, b.metrics.deferrals_total);
+  EXPECT_EQ(a.metrics.messages_per_round, b.metrics.messages_per_round);
+  EXPECT_EQ(a.metrics.messages_per_node, b.metrics.messages_per_node);
+  EXPECT_EQ(a.logs, b.logs);
+}
+
+TEST(CongestDeterminism, DeferBitIdenticalAcrossThreadCountsOnEveryFamily) {
+  // The acceptance matrix: dense, sparse and skewed families under a
+  // binding Defer budget, at 1, 2 and 8 lanes and both balance modes —
+  // RunStats, Metrics (deferrals included) and every per-node delivery
+  // log must be bit-identical, exactly like the unbudgeted engine.
+  util::Xoshiro256 dense_rng(123), sparse_rng(124), skew_rng(125);
+  const Graph dense = graph::erdos_renyi_gnm(97, 400, dense_rng);
+  const Graph sparse = graph::random_tree(101, sparse_rng);
+  const Graph skewed = graph::barabasi_albert(90, 6, skew_rng);
+  for (const Graph* g : {&dense, &sparse, &skewed}) {
+    const auto seq = run_word_chatter(*g, {1}, defer(3));
+    EXPECT_GT(seq.stats.messages, 0u);
+    EXPECT_GT(seq.metrics.deferrals_total, 0u);  // the budget must bind
+    for (const unsigned threads : {2u, 8u}) {
+      for (const ShardBalance balance :
+           {ShardBalance::Uniform, ShardBalance::Degree}) {
+        expect_identical(seq, run_word_chatter(*g, {threads, balance},
+                                               defer(3)));
+      }
+    }
+  }
+}
+
+TEST(CongestDeterminism, NeverBindingBudgetMatchesLocalBitForBit) {
+  // budget -> infinity degenerates to LOCAL: the admission pass runs (the
+  // config is enforced) but defers nothing, and every observable —
+  // including per-round counts and full delivery logs — matches the
+  // unlimited run. The pinned golden traces stay valid by transitivity.
+  util::Xoshiro256 rng(123);
+  const Graph g = graph::erdos_renyi_gnm(97, 400, rng);
+  const auto local = run_word_chatter(g, {1}, CongestConfig{});
+  const auto huge = run_word_chatter(g, {1}, defer(std::uint64_t{1} << 40));
+  expect_identical(local, huge);
+  EXPECT_EQ(huge.metrics.deferrals_total, 0u);
+}
+
+// ------------------------------------------------- protocols under budget
+
+TEST(CongestProtocols, BroadcastReachesSameSetsWithMoreRounds) {
+  // Lemma 12 under bandwidth: hop-budgeted flooding must reach exactly
+  // B_H(v, t) regardless of how the budget delays bundles — only the
+  // round count (and possibly the message count, via re-forwards) grows.
+  util::Xoshiro256 rng(17);
+  const Graph g = graph::erdos_renyi_gnm(60, 180, rng);
+  const auto edges = localsim::all_edges(g);
+  const auto local = localsim::run_tlocal_broadcast(g, edges, 3, 9);
+  const auto budgeted =
+      localsim::run_tlocal_broadcast(g, edges, 3, 9, defer(2));
+  EXPECT_EQ(local.reached, budgeted.reached);
+  EXPECT_GT(budgeted.stats.rounds, local.stats.rounds);
+  EXPECT_GE(budgeted.stats.messages, local.stats.messages);
+  EXPECT_GT(budgeted.metrics.deferrals_total, 0u);
+}
+
+TEST(CongestProtocols, BroadcastBudgetedRunIsThreadCountInvariant) {
+  util::Xoshiro256 rng(21);
+  const Graph g = graph::erdos_renyi_gnm(50, 150, rng);
+  const auto edges = localsim::all_edges(g);
+  auto run_with_threads = [&](unsigned threads) {
+    if (threads == 1) {
+      unsetenv("FL_SIM_THREADS");
+    } else {
+      setenv("FL_SIM_THREADS", std::to_string(threads).c_str(), 1);
+    }
+    auto run = localsim::run_tlocal_broadcast(g, edges, 3, 9, defer(2));
+    unsetenv("FL_SIM_THREADS");
+    return run;
+  };
+  const auto seq = run_with_threads(1);
+  for (const unsigned threads : {2u, 8u}) {
+    const auto par = run_with_threads(threads);
+    EXPECT_EQ(seq.reached, par.reached);
+    EXPECT_EQ(seq.stats.rounds, par.stats.rounds);
+    EXPECT_EQ(seq.stats.messages, par.stats.messages);
+    EXPECT_EQ(seq.metrics.deferrals_total, par.metrics.deferrals_total);
+  }
+}
+
+TEST(CongestProtocols, SamplerRunsBudgetedWithScheduleSlack) {
+  // The sampler's timetable assumes LOCAL delivery; with a finite budget
+  // plus proportional schedule slack the run must still terminate, take
+  // strictly more rounds than its LOCAL twin, and stay deterministic
+  // across thread counts.
+  util::Xoshiro256 rng(5);
+  const Graph g = graph::erdos_renyi_gnm(64, 256, rng);
+  auto cfg = core::SamplerConfig::bench_profile(2, 2, 7);
+
+  const auto local = core::run_distributed_sampler(g, cfg);
+
+  cfg.congest = defer(8);
+  cfg.schedule_slack = 4;
+  auto run_with_threads = [&](unsigned threads) {
+    if (threads == 1) {
+      unsetenv("FL_SIM_THREADS");
+    } else {
+      setenv("FL_SIM_THREADS", std::to_string(threads).c_str(), 1);
+    }
+    auto run = core::run_distributed_sampler(g, cfg);
+    unsetenv("FL_SIM_THREADS");
+    return run;
+  };
+  const auto seq = run_with_threads(1);
+  EXPECT_GT(seq.stats.rounds, local.stats.rounds);
+  EXPECT_FALSE(seq.edges.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    const auto par = run_with_threads(threads);
+    EXPECT_EQ(seq.edges, par.edges);
+    EXPECT_EQ(seq.stats.rounds, par.stats.rounds);
+    EXPECT_EQ(seq.stats.messages, par.stats.messages);
+    EXPECT_EQ(seq.metrics.deferrals_total, par.metrics.deferrals_total);
+  }
+}
+
+}  // namespace
+}  // namespace fl::sim
