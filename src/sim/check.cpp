@@ -1,0 +1,107 @@
+#include "sim/check.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fl::sim {
+
+thread_local OwnershipChecker::Binding* OwnershipChecker::tl_binding_ =
+    nullptr;
+
+void OwnershipChecker::push(Binding* b) {
+  b->prev = tl_binding_;
+  tl_binding_ = b;
+}
+
+void OwnershipChecker::pop(Binding* b) {
+  tl_binding_ = b->prev;
+}
+
+const char* phase_name(EnginePhase phase) {
+  switch (phase) {
+    case EnginePhase::Step: return "step";
+    case EnginePhase::Merge: return "merge";
+    case EnginePhase::Admit: return "admit";
+  }
+  return "?";
+}
+
+bool default_check_enabled() {
+  const char* env = std::getenv("FL_SIM_CHECK");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0)
+    return false;
+  FL_REQUIRE(std::strcmp(env, "1") == 0, "FL_SIM_CHECK must be 0 or 1");
+  return true;
+}
+
+void OwnershipChecker::bind_shards(const std::vector<ShardRange>& shards,
+                                   graph::NodeId n) {
+  owner_.assign(n, 0);
+  for (std::uint32_t s = 0; s < shards.size(); ++s)
+    for (graph::NodeId v = shards[s].begin; v < shards[s].end; ++v)
+      owner_[v] = s;
+}
+
+const OwnershipChecker::Binding* OwnershipChecker::current() const {
+  for (const Binding* b = tl_binding_; b != nullptr; b = b->prev)
+    if (b->checker == this) return b;
+  return nullptr;
+}
+
+void OwnershipChecker::fail(const std::string& what, graph::NodeId node,
+                            unsigned owner_lane, const Binding& b) const {
+  std::string msg = "FL_SIM_CHECK: " + what;
+  if (node != graph::kInvalidNode)
+    msg += " of node " + std::to_string(node) + " (owned by lane " +
+           std::to_string(owner_lane) + ")";
+  msg += " touched by lane " + std::to_string(b.lane) + " in the " +
+         phase_name(b.phase) + " phase of round " + std::to_string(round_);
+  throw CheckViolation(msg, node, owner_lane, b.lane, b.phase, round_);
+}
+
+void OwnershipChecker::touch_node(graph::NodeId v, const char* what) const {
+  const Binding* b = current();
+  if (b == nullptr) return;  // engine not stepping here: unchecked by design
+  if (b->phase != EnginePhase::Step || owner_[v] != b->lane)
+    fail(std::string(what) + " (step-phase, owner-lane only)", v, owner_[v],
+         *b);
+}
+
+void OwnershipChecker::touch_lane(unsigned lane, EnginePhase expected,
+                                  const char* what) const {
+  const Binding* b = current();
+  if (b == nullptr) return;
+  if (b->phase != expected || b->lane != lane)
+    fail(std::string(what) + " of lane " + std::to_string(lane) + " (" +
+             phase_name(expected) + "-phase, owner-lane only)",
+         graph::kInvalidNode, lane, *b);
+}
+
+void OwnershipChecker::touch_merge_dest(graph::NodeId v,
+                                        const char* what) const {
+  const Binding* b = current();
+  if (b == nullptr) return;
+  if (b->phase != EnginePhase::Merge || owner_[v] != b->lane)
+    fail(std::string(what) + " (merge-phase, destination-chunk only)", v,
+         owner_[v], *b);
+}
+
+void OwnershipChecker::touch_admit_dest(graph::NodeId v,
+                                        const char* what) const {
+  const Binding* b = current();
+  if (b == nullptr) return;
+  if (b->phase != EnginePhase::Admit || owner_[v] != b->lane)
+    fail(std::string(what) + " (admit-phase, destination-chunk only)", v,
+         owner_[v], *b);
+}
+
+void OwnershipChecker::touch_carry(unsigned chunk, const char* what) const {
+  const Binding* b = current();
+  if (b == nullptr) return;
+  if (b->phase != EnginePhase::Admit || b->lane != chunk)
+    fail(std::string(what) + " of chunk " + std::to_string(chunk) +
+             " (admit-phase, owner-chunk only)",
+         graph::kInvalidNode, chunk, *b);
+}
+
+}  // namespace fl::sim

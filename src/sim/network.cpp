@@ -50,7 +50,13 @@ double Context::n_bound() const {
   return std::exp2(net_->log_n_bound());
 }
 
-util::Xoshiro256& Context::rng() { return net_->node_rngs_[self_]; }
+util::Xoshiro256& Context::rng() {
+  // The per-node RNG stream is mutable node state: drawing from another
+  // shard's stream would silently change that node's randomness (and the
+  // run's determinism across thread counts).
+  if (net_->check_) net_->check_->touch_node(self_, "rng stream");
+  return net_->node_rngs_[self_];
+}
 
 // ---------------------------------------------------------------- Network
 
@@ -58,6 +64,7 @@ Network::Network(const graph::Graph& graph, Knowledge knowledge,
                  std::uint64_t seed)
     : graph_(&graph), knowledge_(knowledge), streams_(seed),
       par_(default_parallel_config()), congest_(default_congest_config()) {
+  if (default_check_enabled()) check_ = std::make_unique<OwnershipChecker>();
   const NodeId n = graph.num_nodes();
   FL_REQUIRE(n >= 1, "network needs at least one node");
   log_n_bound_ = std::log2(std::max<double>(2.0, n));
@@ -95,6 +102,36 @@ void Network::set_parallelism(ParallelConfig par) {
   // wrapped or garbage thread count fails loudly instead of fork-bombing.
   FL_REQUIRE(par.threads <= 1024, "parallelism capped at 1024 threads");
   par_ = par;
+}
+
+void Network::set_check(bool enabled) {
+  FL_REQUIRE(!started_, "cannot change checking after the run started");
+  if (enabled && check_ == nullptr) {
+    check_ = std::make_unique<OwnershipChecker>();
+  } else if (!enabled) {
+    check_.reset();
+  }
+}
+
+void Network::set_check_probe(std::function<void(Network&, unsigned)> probe) {
+  check_probe_ = std::move(probe);
+}
+
+void Network::debug_touch_node(graph::NodeId v, unsigned as_lane) {
+  FL_REQUIRE(check_ != nullptr, "debug_touch_node needs checking enabled");
+  FL_REQUIRE(started_, "debug_touch_node needs a started run (no ownership "
+                       "map exists before the execution plan is finalized)");
+  FL_REQUIRE(v < graph_->num_nodes(), "node id out of range");
+  LaneScope scope(check_.get(), as_lane, EnginePhase::Step);
+  check_->touch_node(v, "debug-probe state");
+}
+
+void Network::debug_mutate_carry(unsigned chunk) {
+  FL_REQUIRE(chunk < congest_chunks_.size(), "carry chunk out of range");
+  if (check_) check_->touch_carry(chunk, "carry queue");
+  // Harmless when legally reached: the queue's contents are untouched.
+  auto& q = congest_chunks_[chunk].carry_next;
+  q.reserve(q.size());
 }
 
 void Network::set_congest(CongestConfig congest) {
@@ -180,6 +217,15 @@ NodeId Network::resolve_slow(NodeId from, EdgeId edge,
 
 void Network::enqueue(SendLane& lane, NodeId from, EdgeId edge,
                       Payload payload, std::uint32_t size_hint_words) {
+  if (check_) {
+    // The send path mutates sender-owned state (send cursor, edge→slot
+    // cache, messages_per_node) and the lane's private outbox/counts: both
+    // must belong to the stepping lane. Pre-run sends (no bound scope) are
+    // legal and unchecked by design.
+    check_->touch_node(from, "send-path state");
+    check_->touch_lane(static_cast<unsigned>(&lane - lanes_.data()),
+                       EnginePhase::Step, "send outbox");
+  }
   // Resolve `to` and prove incidence. Fast path: the sender's incidence
   // cursor — flood-style protocols send over their incident edges in
   // incidence order, so the expected entry (or the next one, after a
@@ -258,6 +304,7 @@ void Network::begin_if_needed() {
   }
   if (lanes_.size() > 1) pool_ = std::make_unique<ExecPool>(
       static_cast<unsigned>(lanes_.size()));
+  if (check_) check_->bind_shards(shards_, n);
   if (congest_.enforced()) {
     // Budget state is per *directed* edge (index 2e + direction); carry
     // queues and admitted buffers are per destination shard. None of it
@@ -280,10 +327,16 @@ void Network::phase_step(bool starting) {
   // locks. The done() re-read happens here, immediately after the step —
   // the only place done-state can change — keeping the quiesce phase free
   // of any per-node work.
+  if (check_) check_->set_round(round_);
   auto step_shard = [&](unsigned s) {
+    // With checking on, this scope is what every instrumented touch is
+    // verified against: lane s, step phase. Opened on the sequential path
+    // too, so the checks fire identically at every thread count.
+    LaneScope scope(check_.get(), s, EnginePhase::Step);
     const ShardRange range = shards_[s];
     SendLane& lane = lanes_[s];
     for (NodeId v = range.begin; v < range.end; ++v) {
+      if (check_) check_->touch_node(v, "program state");
       Context ctx(*this, v, lane);
       if (starting) {
         programs_[v]->on_start(ctx);
@@ -294,6 +347,7 @@ void Network::phase_step(bool starting) {
       lane.done_count += static_cast<int>(now) - static_cast<int>(done_state_[v]);
       done_state_[v] = now;
     }
+    if (check_probe_) check_probe_(*this, s);
   };
   if (pool_) {
     pool_->run(step_shard);
@@ -347,8 +401,10 @@ void Network::merge_lanes(std::uint64_t total) {
              "more than 2^32 messages in one round");
   const NodeId n = graph_->num_nodes();
   if (!pool_) {
+    LaneScope scope(check_.get(), 0, EnginePhase::Merge);
     std::uint32_t sum = 0;
     for (NodeId v = 0; v < n; ++v) {
+      if (check_) check_->touch_merge_dest(v, "per-destination offsets");
       arena_offsets_[v] = sum;
       for (auto& lane : lanes_) {
         const std::uint32_t c = lane.dest_counts[v];
@@ -363,6 +419,7 @@ void Network::merge_lanes(std::uint64_t total) {
     // dest_counts/cursors entries inside that range (across all lanes),
     // so the two chunked passes share no writable state between chunks.
     pool_->run([&](unsigned c) {
+      LaneScope scope(check_.get(), c, EnginePhase::Merge);
       const ShardRange range = shards_[c];
       std::uint64_t w = 0;
       for (NodeId v = range.begin; v < range.end; ++v)
@@ -376,9 +433,11 @@ void Network::merge_lanes(std::uint64_t total) {
       base += c;
     }
     pool_->run([&](unsigned c) {
+      LaneScope scope(check_.get(), c, EnginePhase::Merge);
       const ShardRange range = shards_[c];
       auto sum = static_cast<std::uint32_t>(chunk_weight_[c]);
       for (NodeId v = range.begin; v < range.end; ++v) {
+        if (check_) check_->touch_merge_dest(v, "per-destination offsets");
         arena_offsets_[v] = sum;
         for (auto& lane : lanes_) {
           const std::uint32_t cnt = lane.dest_counts[v];
@@ -392,6 +451,11 @@ void Network::merge_lanes(std::uint64_t total) {
   }
   arena_.resize(static_cast<std::size_t>(total));
   auto scatter = [&](unsigned s) {
+    LaneScope scope(check_.get(), s, EnginePhase::Merge);
+    // The scatter writes arena slots for *foreign* destinations — that is
+    // the merge contract (cursor ranges are disjoint per lane) — but it
+    // may only drain its own outbox and cursors.
+    if (check_) check_->touch_lane(s, EnginePhase::Merge, "outbox scatter");
     SendLane& lane = lanes_[s];
     for (auto& m : lane.outbox) arena_[lane.cursors[m.to]++] = std::move(m);
     lane.outbox.clear();
@@ -432,13 +496,19 @@ std::uint64_t Network::congest_admit() {
   const bool strict = congest_.policy == CongestPolicy::Strict;
   const std::uint64_t stamp = round_ + 1;  // this round; never the 0 init
   auto decide = [&](unsigned c) {
+    LaneScope scope(check_.get(), c, EnginePhase::Admit);
     const ShardRange range = shards_[c];
     CongestChunk& chunk = congest_chunks_[c];
+    if (check_) check_->touch_carry(c, "carry queue");
     chunk.admitted.clear();
     chunk.carry_next.clear();
     auto consider = [&](Message& m) {
       const std::size_t key = 2 * static_cast<std::size_t>(m.edge) +
                               (m.to > m.from ? 1 : 0);
+      // A directed edge delivers to exactly one node, so its budget state
+      // belongs to the destination's chunk — the property that lets the
+      // admission pass parallelize with no shared writes.
+      if (check_) check_->touch_admit_dest(m.to, "per-edge budget tally");
       EdgeBudgetState& st = congest_edges_[key];
       if (st.stamp != stamp) {
         const bool backlogged = st.blocked && st.stamp + 1 == stamp;
@@ -467,6 +537,7 @@ std::uint64_t Network::congest_admit() {
       }
       st.blocked = true;
       ++chunk.deferred_events;
+      if (check_) check_->touch_carry(c, "carry queue");
       chunk.carry_next.push_back(std::move(m));
     };
     std::size_t cursor = 0;
@@ -503,12 +574,14 @@ std::uint64_t Network::congest_admit() {
              "more than 2^32 messages admitted in one round");
   congest_arena_.resize(static_cast<std::size_t>(admitted_total));
   auto relocate = [&](unsigned c) {
+    LaneScope scope(check_.get(), c, EnginePhase::Admit);
     const ShardRange range = shards_[c];
     CongestChunk& chunk = congest_chunks_[c];
     auto base = static_cast<std::uint32_t>(chunk_weight_[c]);
     std::move(chunk.admitted.begin(), chunk.admitted.end(),
               congest_arena_.begin() + base);
     for (NodeId v = range.begin; v < range.end; ++v) {
+      if (check_) check_->touch_admit_dest(v, "admitted offsets");
       arena_offsets_[v] = base;
       base += congest_counts_[v];
     }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/check.hpp"
 #include "sim/congest.hpp"
 #include "sim/exec.hpp"
 #include "sim/metrics.hpp"
@@ -111,6 +112,29 @@ class Network {
   /// Messages held back by the budget and not yet delivered. Zero in LOCAL
   /// mode; a budgeted run is quiescent only once this drains.
   std::uint64_t carried_messages() const { return carry_total_; }
+
+  /// Logical ownership / phase checking (sim/check.hpp; defaults to the
+  /// FL_SIM_CHECK env probe, else off); only legal before the first round.
+  /// With checking on, every instrumented touch of node state or of a
+  /// merge-barrier structure asserts the stepping lane owns it and the
+  /// engine is in the right phase — violations throw CheckViolation naming
+  /// node, lane, phase and round. Purely observational: results are
+  /// bit-identical with checking on or off.
+  void set_check(bool enabled);
+  bool check_enabled() const { return check_ != nullptr; }
+
+  /// Test-only: a probe invoked from inside every shard's step scope, after
+  /// the shard's nodes were stepped, so tests can seed contract-violating
+  /// touches from a running lane (see tests/test_check.cpp).
+  void set_check_probe(std::function<void(Network&, unsigned)> probe);
+
+  /// Test-only: touch node v's state from a synthetic step-phase scope
+  /// bound to `as_lane` — the seeded cross-shard write.
+  void debug_touch_node(graph::NodeId v, unsigned as_lane);
+
+  /// Test-only: perform a (guarded, otherwise harmless) mutation of chunk's
+  /// congest carry queue — out of the admission phase this must throw.
+  void debug_mutate_carry(unsigned chunk);
 
   /// Messages delivered to `v` this round, valid until the next round
   /// advances. Exposed for tests; programs receive it via on_round.
@@ -242,6 +266,12 @@ class Network {
   std::vector<std::uint32_t> congest_counts_;  // admitted per node, size n
   std::vector<Message> congest_arena_;         // swap target for arena_
   std::uint64_t carry_total_ = 0;  // messages across all carry queues
+
+  // Logical ownership / phase checker (check.hpp). Null unless FL_SIM_CHECK
+  // (or set_check) opted in — every instrumentation site below is a single
+  // `if (check_)` branch, so the hot path is untouched with checking off.
+  std::unique_ptr<OwnershipChecker> check_;
+  std::function<void(Network&, unsigned)> check_probe_;  // test-only
 
   // Messages moved into the arena by the last merge — the O(1) half of
   // the quiesce check.
