@@ -10,6 +10,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+# Determinism-contract lint: first prove every violation class still fires
+# (the self-test fixtures), then lint src/ against the tracked allowlist.
+python3 scripts/fl_lint.py --self-test
+python3 scripts/fl_lint.py
+
 # shellcheck disable=SC2086  # FL_CMAKE_ARGS is intentionally word-split
 cmake -B "$BUILD_DIR" -S . ${FL_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j

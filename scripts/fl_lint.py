@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""fl_lint — determinism-contract lint for the fl source tree.
+
+The simulator's whole value proposition is bit-identical runs at every
+thread count, balance mode, and (non-binding) congest budget. The contracts
+that guarantee it are structural, repo-specific, and invisible to a generic
+linter, so this pass checks them directly over ``src/``:
+
+  FL001 banned-rng        std::rand / srand / random_device in engine or
+                          protocol code — all randomness must flow through
+                          the seeded per-node util::Xoshiro256 streams.
+  FL002 wall-clock        time() / std::chrono / clock_gettime — round
+                          logic must never observe wall-clock time.
+  FL003 unordered-iter    range-for over a std::unordered_{map,set}
+                          declared in the same file: hash-order iteration
+                          feeding sends, metrics, or outputs is the classic
+                          silent determinism leak.
+  FL004 pointer-ordered   std::map/std::set keyed on a pointer type —
+                          address order varies run to run (ASLR, allocator).
+  FL005 pointer-hash      std::hash over a pointer type, same failure mode.
+  FL006 size-hint-zero    a literal 0 passed as size_hint_words to send():
+                          words accounting treats the hint as the message's
+                          CONGEST width, and 0-word messages are banned by
+                          the admission pass (it would divide by the budget).
+  FL007 payload-assert    a struct passed to Context::send by braced init
+                          must carry a static_assert pinning
+                          Payload::stores_inline<T> (and, for hot-path
+                          types, trivially_relocatable<T>) in the same
+                          file, so a grown field cannot silently fall back
+                          to the heap path and change words accounting.
+
+Violations that are understood and accepted live in the tracked allowlist
+(``scripts/fl_lint_allowlist.txt``); everything else fails the build.
+
+Usage:
+  fl_lint.py [--root REPO] [--allowlist FILE]   lint src/, exit 1 on findings
+  fl_lint.py --self-test                        prove each check still fires
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+CHECK_IDS = (
+    "FL001", "FL002", "FL003", "FL004", "FL005", "FL006", "FL007",
+)
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string/char literals, preserving
+    line structure so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: str, line: int, check: str, message: str):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.check} {self.message}"
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+# --------------------------------------------------------------- FL001/2/4/5
+
+PATTERN_CHECKS = [
+    ("FL001", re.compile(r"\bstd::rand\b|\bsrand\s*\(|\bstd::random_device\b"),
+     "banned RNG source; use the seeded per-node util::Xoshiro256 stream"),
+    ("FL002", re.compile(
+        r"\bstd::chrono\b|\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
+        r"(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0|&|\))"),
+     "wall-clock observation in deterministic code"),
+    ("FL004", re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<[^<>,;]*\*"),
+     "ordered container keyed on a pointer (address order is not stable)"),
+    ("FL005", re.compile(r"\bstd::hash\s*<[^<>;]*\*"),
+     "std::hash of a pointer (hash of an address is not stable)"),
+]
+
+
+def check_patterns(path: str, code: str) -> list:
+    findings = []
+    for check, rx, msg in PATTERN_CHECKS:
+        for m in rx.finditer(code):
+            findings.append(Finding(path, line_of(code, m.start()), check, msg))
+    return findings
+
+
+# --------------------------------------------------------------------- FL003
+
+UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*"
+    r"(\w+)\s*[;({=]")
+RANGE_FOR = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,&*\s]+?[&\s]"
+                       r"(?:\[[^\]]*\]|\w+)\s*:\s*(\w+)\s*\)")
+
+
+def check_unordered_iteration(path: str, code: str) -> list:
+    names = set(UNORDERED_DECL.findall(code))
+    if not names:
+        return []
+    findings = []
+    for m in RANGE_FOR.finditer(code):
+        if m.group(1) in names:
+            findings.append(Finding(
+                path, line_of(code, m.start()), "FL003",
+                f"iteration over unordered container '{m.group(1)}' "
+                "(hash order must not feed sends, metrics, or outputs)"))
+    return findings
+
+
+# --------------------------------------------------------------- FL006/FL007
+
+SEND_CALL = re.compile(r"\bsend\s*\(")
+
+
+def split_call(code: str, open_paren: int):
+    """Return (args, end) for the call whose '(' is at open_paren, with args
+    split at top-level commas. None if the parenthesis never closes."""
+    depth, i, n = 0, open_paren, len(code)
+    args, start = [], open_paren + 1
+    while i < n:
+        c = code[i]
+        if c in "([{<":
+            # '<' is only a bracket in template-ish position; treating every
+            # '<' as one would desync on comparisons, so only track ([{.
+            if c != "<":
+                depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append(code[start:i])
+                return args, i
+        elif c == "," and depth == 1:
+            args.append(code[start:i])
+            start = i + 1
+        i += 1
+    return None, n
+
+
+def check_send_sites(path: str, code: str) -> list:
+    findings = []
+    asserted = set(re.findall(
+        r"stores_inline\s*<\s*(\w+)\s*>|trivially_relocatable\s*<\s*(\w+)\s*>",
+        code))
+    asserted = {a or b for a, b in asserted}
+    seen_types = set()
+    for m in SEND_CALL.finditer(code):
+        args, _ = split_call(code, m.end() - 1)
+        if args is None or len(args) < 2:
+            continue
+        line = line_of(code, m.start())
+        if len(args) >= 3 and args[-1].strip() == "0":
+            findings.append(Finding(
+                path, line, "FL006",
+                "literal 0 passed as size_hint_words (a message is never "
+                "0 CONGEST words; the admission pass rejects it)"))
+        tm = re.match(r"\s*([A-Z]\w*)\s*\{", args[1])
+        if tm:
+            t = tm.group(1)
+            if t not in asserted and (path, t) not in seen_types:
+                seen_types.add((path, t))
+                findings.append(Finding(
+                    path, line, "FL007",
+                    f"payload struct '{t}' is sent without a "
+                    f"static_assert(sim::Payload::stores_inline<{t}>) in "
+                    "this file (growth must not silently change words "
+                    "accounting)"))
+    return findings
+
+
+# ----------------------------------------------------------------- allowlist
+
+def load_allowlist(path: str) -> list:
+    """Each entry: (check_id, file_glob-ish path, optional substring). A
+    finding is suppressed when the check matches, the finding's path ends
+    with the entry path, and (if given) the substring occurs in the
+    finding's source line."""
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 2 or parts[0] not in CHECK_IDS:
+                print(f"fl_lint: malformed allowlist entry: {line!r}",
+                      file=sys.stderr)
+                sys.exit(2)
+            entries.append((parts[0], parts[1],
+                            parts[2] if len(parts) > 2 else None))
+    return entries
+
+
+def suppressed(finding: Finding, source_lines: list, allow: list) -> bool:
+    for check, path_suffix, substr in allow:
+        if check != finding.check:
+            continue
+        if not finding.path.endswith(path_suffix):
+            continue
+        if substr is not None:
+            text = (source_lines[finding.line - 1]
+                    if finding.line <= len(source_lines) else "")
+            if substr not in text:
+                continue
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------- main
+
+def lint_file(path: str, rel: str, allow: list) -> list:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    code = strip_comments(text)
+    findings = []
+    findings += check_patterns(rel, code)
+    findings += check_unordered_iteration(rel, code)
+    findings += check_send_sites(rel, code)
+    lines = text.split("\n")
+    return [f for f in findings if not suppressed(f, lines, allow)]
+
+
+def lint_tree(root: str, allowlist_path: str) -> int:
+    allow = load_allowlist(allowlist_path)
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        print(f"fl_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    findings = []
+    for dirpath, _, files in os.walk(src):
+        for name in sorted(files):
+            if not name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            findings += lint_file(path, rel, allow)
+    findings.sort(key=lambda f: (f.path, f.line))
+    for f in findings:
+        print(f)
+    if findings:
+        counts = {}
+        for f in findings:
+            counts[f.check] = counts.get(f.check, 0) + 1
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        print(f"fl_lint: {len(findings)} finding(s) ({summary})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+# ------------------------------------------------------------------ selftest
+
+FIXTURES = {
+    # one fixture per violation class; each must trip exactly its check
+    "FL001": "int f() { return std::rand(); }\n",
+    "FL002": "#include <chrono>\ndouble f() { return"
+             " std::chrono::steady_clock::now().time_since_epoch().count();"
+             " }\n",
+    "FL003": "#include <unordered_map>\nvoid f(Ctx& ctx) {\n"
+             "  std::unordered_map<int, int> acc;\n"
+             "  for (const auto& [k, v] : acc) ctx.send(k, v, 1);\n}\n",
+    "FL004": "#include <map>\nstd::map<Node*, int> rank_;\n",
+    "FL005": "#include <functional>\nstd::size_t h(Node* p) {"
+             " return std::hash<Node*>{}(p); }\n",
+    "FL006": "void f(Ctx& ctx) { ctx.send(e, MsgPing{}, 0); }\n"
+             "static_assert(sim::Payload::stores_inline<MsgPing>);\n",
+    "FL007": "struct MsgPing { int x; };\n"
+             "void f(Ctx& ctx) { ctx.send(e, MsgPing{1}, 1); }\n",
+}
+
+CLEAN_FIXTURE = (
+    "// a compliant protocol file\n"
+    "struct MsgPing { int x; };\n"
+    "static_assert(sim::Payload::stores_inline<MsgPing> &&\n"
+    "              sim::Payload::trivially_relocatable<MsgPing>);\n"
+    "void f(Ctx& ctx) {\n"
+    "  for (const EdgeId e : ctx.incident_edges())\n"
+    "    ctx.send(e, MsgPing{1}, 1);  // std::rand() in a comment is fine\n"
+    "}\n"
+)
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        os.mkdir(os.path.join(tmp, "src"))
+        for check, body in FIXTURES.items():
+            path = os.path.join(tmp, "src", f"fixture_{check.lower()}.cpp")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(body)
+            got = lint_file(path, path, allow=[])
+            if not any(f.check == check for f in got):
+                failures.append(f"{check}: fixture did not trip its check "
+                                f"(got: {[str(f) for f in got]})")
+            os.remove(path)
+        clean = os.path.join(tmp, "src", "fixture_clean.cpp")
+        with open(clean, "w", encoding="utf-8") as f:
+            f.write(CLEAN_FIXTURE)
+        got = lint_file(clean, clean, allow=[])
+        if got:
+            failures.append(
+                f"clean fixture tripped: {[str(f) for f in got]}")
+        # The allowlist mechanism itself: a suppressed finding must vanish.
+        fl1 = os.path.join(tmp, "src", "allowed.cpp")
+        with open(fl1, "w", encoding="utf-8") as f:
+            f.write(FIXTURES["FL001"])
+        got = lint_file(fl1, fl1, allow=[("FL001", "allowed.cpp", None)])
+        if got:
+            failures.append(f"allowlist did not suppress: "
+                            f"{[str(f) for f in got]}")
+    for msg in failures:
+        print(f"fl_lint self-test FAILED: {msg}", file=sys.stderr)
+    if not failures:
+        print(f"fl_lint self-test OK: {len(FIXTURES)} violation classes "
+              "fire, clean fixture passes, allowlist suppresses")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: this script's parent's parent)")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: scripts/fl_lint_allowlist"
+                         ".txt under --root)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the violation-class fixtures instead of "
+                         "linting the tree")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    allowlist = args.allowlist or os.path.join(
+        args.root, "scripts", "fl_lint_allowlist.txt")
+    return lint_tree(args.root, allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
