@@ -117,7 +117,13 @@ class Payload {
       ::new (static_cast<void*>(storage_)) T(std::forward<V>(value));
       bits_ = tag_of<T>();
     } else {
-      *reinterpret_cast<T**>(storage_) = new T(std::forward<V>(value));
+      // Heap fallback (oversized / over-aligned / throwing-move types).
+      // `new T` honours extended alignment since C++17; the owning pointer
+      // is stored into the buffer by memcpy because no T* object ever
+      // begins its lifetime there — a reinterpret_cast deref would read
+      // through a pointer type the buffer never held.
+      T* owner = new T(std::forward<V>(value));
+      std::memcpy(storage_, &owner, sizeof(owner));
       bits_ = tag_of<T>();
     }
   }
@@ -154,7 +160,9 @@ class Payload {
     if constexpr (stores_inline<T>) {
       return std::launder(reinterpret_cast<const T*>(storage_));
     } else {
-      return *reinterpret_cast<const T* const*>(storage_);
+      const T* owner;
+      std::memcpy(&owner, storage_, sizeof(owner));
+      return owner;
     }
   }
 
@@ -176,6 +184,11 @@ class Payload {
   static constexpr std::uintptr_t kHeapBit = 2;     // slot holds owning T*
   static constexpr std::uintptr_t kDestroyBit = 4;  // destructor non-trivial
   static constexpr std::uintptr_t kTagMask = kTrivialBit | kHeapBit | kDestroyBit;
+  // The three tag bits ride in the low bits of a PayloadOps address, so
+  // every PayloadOps must sit on an 8-byte boundary. Three pointers make
+  // that true on every sane ABI; this is the proof, not the hope.
+  static_assert(alignof(detail::PayloadOps) > kTagMask,
+                "PayloadOps alignment must leave the tag bits zero");
 
   template <typename T>
   struct OpsFor {
@@ -188,7 +201,9 @@ class Payload {
       std::launder(reinterpret_cast<T*>(slot))->~T();
     }
     static void destroy_heap(void* slot) noexcept {
-      delete *reinterpret_cast<T**>(slot);
+      T* owner;
+      std::memcpy(&owner, slot, sizeof(owner));
+      delete owner;
     }
   };
 
