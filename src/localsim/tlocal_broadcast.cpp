@@ -40,8 +40,9 @@ static_assert(sim::Payload::stores_inline<MsgOrigins>);
 class FloodNode final : public sim::NodeProgram {
  public:
   FloodNode(NodeId self, std::shared_ptr<const std::vector<bool>> edge_in,
-            unsigned rounds, NodeId n)
-      : self_(self), edge_in_(std::move(edge_in)), rounds_(rounds), n_(n) {}
+            unsigned rounds, NodeId n, bool dedup_reforward)
+      : self_(self), edge_in_(std::move(edge_in)), rounds_(rounds), n_(n),
+        dedup_reforward_(dedup_reforward) {}
 
   std::vector<NodeId> known_sorted() const {
     std::vector<NodeId> out(known_.begin(), known_.end());
@@ -65,25 +66,43 @@ class FloodNode final : public sim::NodeProgram {
     // Record and regroup everything heard — even after the local send
     // schedule ended, because under a finite bandwidth budget bundles
     // straggle in late and must still be learned and forwarded. Groups
-    // live in a flat vector: in LOCAL mode every arrival of a round
-    // carries the same hop budget (exactly one group, found without a
-    // tree in the transformer's hot path), and under a budget the handful
-    // of distinct values keeps the linear scan trivial.
-    std::vector<std::pair<std::uint32_t, std::vector<NodeId>>> fresh;
-    auto bucket = [&](std::uint32_t h) -> std::vector<NodeId>& {
-      for (auto& [hops, ids] : fresh)
-        if (hops == h) return ids;
-      return fresh.emplace_back(h, std::vector<NodeId>{}).second;
+    // live in a flat vector keyed by (remaining budget, skipped edge): in
+    // LOCAL mode every arrival of a round carries the same hop budget and
+    // no skip (exactly one group, found without a tree in the
+    // transformer's hot path), and under a budget the handful of distinct
+    // keys keeps the linear scan trivial.
+    //
+    // The skip key is the re-forward dedup: when an origin arrives as an
+    // *improvement* (already known, larger remaining budget — which only
+    // happens when a binding budget delayed the shorter path), the sender
+    // of that bundle provably holds the origin with budget >= hops + 1, so
+    // shipping it back over the arrival edge is pure waste. First arrivals
+    // keep the full subset fan-out: skipping their arrival edge too would
+    // change LOCAL-mode words, and every golden trace with it.
+    struct Group {
+      std::uint32_t hops;
+      EdgeId skip;
+      std::vector<NodeId> ids;
+    };
+    std::vector<Group> fresh;
+    auto bucket = [&](std::uint32_t h, EdgeId skip) -> std::vector<NodeId>& {
+      for (auto& grp : fresh)
+        if (grp.hops == h && grp.skip == skip) return grp.ids;
+      return fresh.emplace_back(Group{h, skip, {}}).ids;
     };
     for (const auto& m : inbox) {
       const auto& o = sim::payload_as<MsgOrigins>(m);
       const auto hops = static_cast<std::int32_t>(o.hops_left);
       for (const NodeId id : *o.origins) {
         if (hops <= best_hops_[id]) continue;
-        if (best_hops_[id] < 0) known_.push_back(id);
+        const bool improvement = best_hops_[id] >= 0;
+        if (!improvement) known_.push_back(id);
         best_hops_[id] = hops;
         if (hops >= 1)
-          bucket(static_cast<std::uint32_t>(hops - 1)).push_back(id);
+          bucket(static_cast<std::uint32_t>(hops - 1),
+                 improvement && dedup_reforward_ ? m.edge
+                                                 : graph::kInvalidEdge)
+              .push_back(id);
       }
     }
     // The done-state schedule is untouched by congestion: after `rounds_`
@@ -94,13 +113,16 @@ class FloodNode final : public sim::NodeProgram {
       ++send_round_;
       if (send_round_ >= rounds_) finished_ = true;
     }
-    // Largest remaining budget first — a fixed, lane-independent order
-    // (group keys are unique, so the sort is deterministic).
-    std::sort(fresh.begin(), fresh.end(),
-              [](const auto& a, const auto& b) { return a.first > b.first; });
-    for (auto& [hops, ids] : fresh) {
-      auto batch = std::make_shared<const std::vector<NodeId>>(std::move(ids));
-      send_over_subset(ctx, batch, hops);
+    // Largest remaining budget first, ties broken by skipped-edge id — a
+    // fixed, lane-independent order ((hops, skip) keys are unique, so the
+    // sort is deterministic).
+    std::sort(fresh.begin(), fresh.end(), [](const Group& a, const Group& b) {
+      return a.hops != b.hops ? a.hops > b.hops : a.skip < b.skip;
+    });
+    for (auto& grp : fresh) {
+      auto batch =
+          std::make_shared<const std::vector<NodeId>>(std::move(grp.ids));
+      send_over_subset(ctx, batch, grp.hops, grp.skip);
     }
   }
 
@@ -113,9 +135,10 @@ class FloodNode final : public sim::NodeProgram {
  private:
   void send_over_subset(sim::Context& ctx,
                         const std::shared_ptr<const std::vector<NodeId>>& batch,
-                        std::uint32_t hops_left) {
+                        std::uint32_t hops_left,
+                        EdgeId skip = graph::kInvalidEdge) {
     for (const EdgeId e : ctx.incident_edges()) {
-      if (!(*edge_in_)[e]) continue;
+      if (e == skip || !(*edge_in_)[e]) continue;
       ctx.send(e, MsgOrigins{batch, hops_left},
                static_cast<std::uint32_t>(batch->size()));
     }
@@ -125,6 +148,7 @@ class FloodNode final : public sim::NodeProgram {
   std::shared_ptr<const std::vector<bool>> edge_in_;
   unsigned rounds_;
   NodeId n_;
+  bool dedup_reforward_;
   unsigned send_round_ = 0;
   bool finished_ = false;
   std::vector<NodeId> known_;
@@ -144,7 +168,8 @@ std::vector<EdgeId> all_edges(const Graph& g) {
 BroadcastRun run_tlocal_broadcast(const Graph& g,
                                   const std::vector<EdgeId>& edges,
                                   unsigned rounds, std::uint64_t seed,
-                                  std::optional<sim::CongestConfig> congest) {
+                                  std::optional<sim::CongestConfig> congest,
+                                  bool dedup_reforward) {
   auto edge_in = std::make_shared<std::vector<bool>>(g.num_edges(), false);
   for (const EdgeId e : edges) {
     FL_REQUIRE(e < g.num_edges(), "broadcast edge id out of range");
@@ -154,7 +179,8 @@ BroadcastRun run_tlocal_broadcast(const Graph& g,
   // No override: keep the constructor's default (the FL_SIM_CONGEST probe).
   if (congest.has_value()) net.set_congest(*congest);
   net.install([&](NodeId v) {
-    return std::make_unique<FloodNode>(v, edge_in, rounds, g.num_nodes());
+    return std::make_unique<FloodNode>(v, edge_in, rounds, g.num_nodes(),
+                                       dedup_reforward);
   });
 
   BroadcastRun run;
