@@ -158,6 +158,67 @@ def diff_snapshots(old_objs, new_objs, threshold):
     return model_flags, timing_flags, notes
 
 
+def lint_schema(files) -> int:
+    """Validate snapshot structure without any baseline: every file parses,
+    every record names its table and carries a row list, every row is a flat
+    dict of scalars, and all rows of one table agree on their column set.
+    The diff keys on exactly this shape, so schema rot here silently
+    degrades drift detection — this is its self-check."""
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path.name}: listed but missing")
+            continue
+        try:
+            objs = parse_concatenated_json(path.read_text())
+        except json.JSONDecodeError as e:
+            problems.append(f"{path.name}: unparseable ({e})")
+            continue
+        if not objs:
+            problems.append(f"{path.name}: empty snapshot")
+            continue
+        for i, obj in enumerate(objs):
+            if not isinstance(obj, dict):
+                problems.append(f"{path.name} record {i}: not an object")
+                continue
+            title = obj.get("table") or obj.get("bench")
+            if not isinstance(title, str) or not title:
+                problems.append(
+                    f"{path.name} record {i}: no 'table'/'bench' name")
+                continue
+            rows = obj.get("rows", obj.get("results"))
+            if not isinstance(rows, list):
+                problems.append(
+                    f"{path.name} [{title}]: no 'rows'/'results' list")
+                continue
+            columns = None
+            for j, row in enumerate(rows):
+                if not isinstance(row, dict):
+                    problems.append(
+                        f"{path.name} [{title}] row {j}: not an object")
+                    continue
+                bad = [f for f, v in row.items()
+                       if not isinstance(v, (str, int, float, bool))
+                       and v is not None]
+                if bad:
+                    problems.append(
+                        f"{path.name} [{title}] row {j}: non-scalar "
+                        f"field(s) {bad} (the diff cannot compare these)")
+                if columns is None:
+                    columns = set(row)
+                elif set(row) != columns:
+                    problems.append(
+                        f"{path.name} [{title}] row {j}: column set "
+                        f"differs from row 0 "
+                        f"({sorted(set(row) ^ columns)})")
+    for line in problems:
+        print(f"bench_diff --lint-schema: {line}")
+    if not problems:
+        print(f"bench_diff --lint-schema: {len(files)} snapshot(s) "
+              "well-formed")
+    return 1 if problems else 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("files", nargs="*",
@@ -166,6 +227,8 @@ def main() -> int:
                     help="flag relative changes above this percentage")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 when a non-timing field drifted")
+    ap.add_argument("--lint-schema", action="store_true",
+                    help="validate snapshot structure (no baseline diff)")
     args = ap.parse_args()
 
     if args.files:
@@ -180,6 +243,8 @@ def main() -> int:
         committed = {REPO / f for f in res.stdout.split()
                      if f.startswith("BENCH_") and f.endswith(".json")}
         files = sorted(committed | set(REPO.glob("BENCH_*.json")))
+    if args.lint_schema:
+        return lint_schema(files)
     threshold = args.threshold / 100.0
     any_model_drift = False
 
