@@ -13,6 +13,9 @@
 //     (all --benchmark_* flags pass through).
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -125,7 +128,7 @@ class FloodRounds final : public sim::NodeProgram {
     sent_ = 1;
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, sim::InboxView inbox) override {
     for (const auto& m : inbox) checksum_ += sim::payload_as<graph::NodeId>(m);
     if (sent_ < rounds_) {
       send_all(ctx);
@@ -403,6 +406,142 @@ int run_congest_bench(const bench::Env& env) {
   return 0;
 }
 
+// ------------------------------------------------- capacity (n=1M–10M)
+
+/// Peak resident set of this process so far, in MiB. ru_maxrss is
+/// process-monotone (a high-water mark), so capacity rows run in
+/// ascending-n order and each row's reading is attributed to the largest
+/// run so far — which is exactly that row.
+double peak_rss_mb() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+/// Physical RAM in MiB (0 when the sysconf probe is unavailable).
+double physical_ram_mb() {
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  const long page = sysconf(_SC_PAGE_SIZE);
+  if (pages <= 0 || page <= 0) return 0.0;
+  return static_cast<double>(pages) / 1024.0 *
+         (static_cast<double>(page) / 1024.0);
+}
+
+struct CapacityRow {
+  graph::NodeId n = 0;
+  std::string family;
+  std::uint64_t edges = 0;
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;
+  unsigned threads = 1;
+  double msgs_per_sec = 0.0;
+  double peak_rss_mb = 0.0;
+  double rss_ceiling_mb = 0.0;
+  bool rss_within_ceiling = false;
+};
+
+/// The scale rows the SoA/streamed engine exists for: a tree flood at
+/// n=1M (and, with RAM to spare and no --quick, n=10M), 8 send-rounds
+/// each. The peak-RSS ceiling is the frontier-scaling proof: the engine's
+/// steady footprint at n=1M sparse is ~440 MiB (graph + per-node state +
+/// two arena buffers + outboxes), and the ceiling of 672 MiB per million
+/// nodes leaves headroom for allocator slack but NOT for materializing
+/// the run — eight rounds of retained deliveries (~700 MiB more) blow it.
+std::vector<CapacityRow> run_capacity_sweep(const bench::Env& env,
+                                            unsigned threads) {
+  constexpr double kCeilingMbPerMillionNodes = 672.0;
+  const unsigned rounds = 8;
+  std::vector<graph::NodeId> sizes{1000000};
+  // The n=10M row needs ~4.5 GiB steady; ask for comfortable headroom so
+  // the full sweep never swaps a CI box to death.
+  if (!env.quick && physical_ram_mb() >= 12288.0) sizes.push_back(10000000);
+
+  std::vector<CapacityRow> rows;  // ascending n — see peak_rss_mb()
+  for (const graph::NodeId n : sizes) {
+    util::Xoshiro256 rng(env.seed + n);
+    const graph::Graph g = graph::random_tree(n, rng);
+    CapacityRow row;
+    row.n = n;
+    row.family = "sparse";
+    row.edges = g.num_edges();
+    row.threads = threads;
+    // Best of 3: the first run pays the cold page faults for the whole
+    // footprint inside the timed region; the repeats measure the engine.
+    // Peak RSS is unaffected (same footprint each run, monotone reading).
+    DeliveryResult res = run_delivery(g, rounds, env.seed, threads);
+    for (int rep = 1; rep < 3; ++rep) {
+      DeliveryResult again = run_delivery(g, rounds, env.seed, threads);
+      FL_REQUIRE(again.stats.messages == res.stats.messages &&
+                     again.checksum == res.checksum,
+                 "capacity repeats must reproduce the run exactly");
+      if (again.seconds < res.seconds) res = again;
+    }
+    row.rounds = res.stats.rounds;
+    row.messages = res.stats.messages;
+    row.msgs_per_sec = res.msgs_per_sec();
+    row.peak_rss_mb = peak_rss_mb();
+    row.rss_ceiling_mb =
+        kCeilingMbPerMillionNodes * static_cast<double>(n) / 1e6;
+    row.rss_within_ceiling = row.peak_rss_mb <= row.rss_ceiling_mb;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void emit_capacity_json(const std::vector<CapacityRow>& rows,
+                        const bench::Env& env) {
+  std::printf("{\n  \"bench\": \"capacity\",\n");
+  std::printf("  \"seed\": %llu,\n  \"quick\": %s,\n",
+              static_cast<unsigned long long>(env.seed),
+              env.quick ? "true" : "false");
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CapacityRow& r = rows[i];
+    std::printf(
+        "    {\"n\": %u, \"family\": \"%s\", \"edges\": %llu, "
+        "\"rounds\": %zu, \"messages\": %llu, \"threads\": %u, "
+        "\"msgs_per_sec\": %.0f, \"peak_rss_mb\": %.1f, "
+        "\"rss_ceiling_mb\": %.1f, \"rss_within_ceiling\": %s}%s\n",
+        r.n, r.family.c_str(), static_cast<unsigned long long>(r.edges),
+        r.rounds, static_cast<unsigned long long>(r.messages), r.threads,
+        r.msgs_per_sec, r.peak_rss_mb, r.rss_ceiling_mb,
+        r.rss_within_ceiling ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int run_capacity_bench(const bench::Env& env, unsigned threads) {
+  const auto rows = run_capacity_sweep(env, threads);
+  if (env.json) {
+    emit_capacity_json(rows, env);
+  } else {
+    util::Table table({"n", "family", "edges", "rounds", "messages",
+                       "threads", "Mmsg/s", "peak RSS MiB", "ceiling MiB",
+                       "within?"});
+    for (const CapacityRow& r : rows) {
+      table.add(static_cast<std::size_t>(r.n), r.family,
+                static_cast<unsigned long long>(r.edges), r.rounds,
+                static_cast<unsigned long long>(r.messages), r.threads,
+                util::fixed(r.msgs_per_sec / 1e6, 2),
+                util::fixed(r.peak_rss_mb, 1),
+                util::fixed(r.rss_ceiling_mb, 1), r.rss_within_ceiling);
+    }
+    env.emit(table, "Capacity: tree flood at n=1M-10M, peak-RSS ceiling");
+  }
+  for (const CapacityRow& r : rows) {
+    if (!r.rss_within_ceiling) {
+      std::fprintf(stderr,
+                   "capacity: peak RSS %.1f MiB exceeds the %.1f MiB "
+                   "ceiling at n=%u — the engine materialized more than "
+                   "the current+next frontier\n",
+                   r.peak_rss_mb, r.rss_ceiling_mb, r.n);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int run_delivery_bench(const bench::Env& env, unsigned threads) {
   const auto rows = run_delivery_sweep(env, threads);
   if (env.json) {
@@ -431,28 +570,41 @@ int run_delivery_bench(const bench::Env& env, unsigned threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool delivery_section =
-      [&] {
-        for (int i = 1; i < argc; ++i) {
-          const std::string a = argv[i];
-          for (const char* flag : {"--delivery", "--json", "--csv", "--quick",
-                                   "--seed", "--threads", "--congest"})
-            if (a == flag || a.rfind(std::string(flag) + "=", 0) == 0)
-              return true;
-        }
-        return false;
-      }();
-  if (delivery_section) {
+  const auto has_flag = [&](const char* flag) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == flag || a.rfind(std::string(flag) + "=", 0) == 0) return true;
+    }
+    return false;
+  };
+  const bool sweep_section = [&] {
+    for (const char* flag : {"--delivery", "--json", "--csv", "--quick",
+                             "--seed", "--threads", "--congest", "--capacity"})
+      if (has_flag(flag)) return true;
+    return false;
+  }();
+  if (sweep_section) {
     // --threads N sets the parallel column's lane count (default 8); the
     // sequential flat column always runs single-threaded. --congest adds
     // the CONGEST budget sweep (LOCAL vs budgeted rounds) after the
-    // delivery sweep.
+    // delivery sweep. --capacity runs the n=1M–10M capacity rows *instead*
+    // of the delivery sweep (peak RSS is a process-monotone high-water
+    // mark, so the capacity rows must be the only large runs in the
+    // process); pass --delivery explicitly to get both, capacity first.
     const fl::util::Options opt(argc, argv);
     const std::int64_t threads = opt.get_int("threads", 8);
     FL_REQUIRE(threads >= 1 && threads <= 1024,
                "--threads must be in [1, 1024]");
     const auto env = fl::bench::Env::parse(argc, argv);
-    int rc = run_delivery_bench(env, static_cast<unsigned>(threads));
+    const bool capacity = has_flag("--capacity");
+    int rc = 0;
+    if (capacity)
+      rc = run_capacity_bench(env, static_cast<unsigned>(threads));
+    if (!capacity || has_flag("--delivery")) {
+      const int delivery_rc =
+          run_delivery_bench(env, static_cast<unsigned>(threads));
+      if (rc == 0) rc = delivery_rc;
+    }
     if (opt.get_bool("congest", false)) {
       const int congest_rc = run_congest_bench(env);
       if (rc == 0) rc = congest_rc;

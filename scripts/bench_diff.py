@@ -2,15 +2,20 @@
 """Diff the working-tree BENCH_*.json snapshots against the committed ones.
 
 The per-PR bench trajectory: scripts/check.sh regenerates BENCH_e1..e10.json
-and BENCH_micro_perf.json on every run; this script compares each regenerated
-file against the version committed at HEAD (`git show HEAD:<file>`) and flags
-every numeric field that moved by more than --threshold (default 10%).
+and BENCH_micro_perf.json on every run (and BENCH_capacity.json under
+FL_BENCH_CAPACITY=1 — rows keyed by n/family from bench_micro_perf
+--capacity); this script compares each regenerated file against the version
+committed at HEAD (`git show HEAD:<file>`) and flags every numeric field
+that moved by more than --threshold (default 10%).
 
 Most E-bench fields are *model* quantities (rounds, messages, spanner sizes)
 that are bit-deterministic given the seed, so any drift there is a real
-behaviour change, not noise. Wall-clock fields (msgs_per_sec, ...) are noisy
-on a busy box — they are still reported, clearly marked, but only model-field
-drift makes --strict fail. Schema changes are model drift too: a row that
+behaviour change, not noise. Wall-clock fields (msgs_per_sec, ...) and
+resident-set readings (peak_rss_mb, rss_ceiling_mb — allocator- and
+kernel-dependent) are noisy on a busy box — they are still reported, clearly
+marked, but only model-field drift makes --strict fail; the capacity rows'
+rss_within_ceiling verdict is a bool, hence model-strict like every
+non-numeric field. Schema changes are model drift too: a row that
 gains or loses a column between snapshots (e.g. a bench grew a --congest
 column) is reported field by field, never silently skipped.
 
@@ -30,7 +35,10 @@ REPO = Path(__file__).resolve().parent.parent
 # "_over_" marks ratio columns whose numerator and denominator are both
 # wall-clock rates (mt_over_flat, ...): a quotient of two noisy timings is
 # itself a timing, so it must never fail --strict.
-TIMING_MARKERS = ("per_sec", "sec", "ms/", "time", "wall", "_over_")
+# "rss" covers the capacity rows' peak_rss_mb / rss_ceiling_mb: resident-set
+# readings vary with allocator and kernel, so they advise rather than gate
+# (the boolean rss_within_ceiling verdict stays model-strict).
+TIMING_MARKERS = ("per_sec", "sec", "ms/", "time", "wall", "_over_", "rss")
 
 
 def is_timing_field(name: str) -> bool:

@@ -33,6 +33,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 if [ -n "${FL_BENCH_FULL:-}" ]; then
   "$BUILD_DIR"/bench/bench_micro_perf --delivery --congest --json | tee BENCH_micro_perf_full.json
 fi
+# FL_BENCH_CAPACITY=1 refreshes the tracked capacity record: the n=1M
+# sparse flood with its peak-RSS ceiling (~half a minute, ~0.5 GiB). Run
+# at one lane — the row meters the engine, not the scheduler, and peak RSS
+# is a process high-water mark, so capacity must be its own process run.
+if [ -n "${FL_BENCH_CAPACITY:-}" ]; then
+  "$BUILD_DIR"/bench/bench_micro_perf --capacity --quick --threads=1 --json | tee BENCH_capacity.json
+fi
 
 # Trajectory snapshots: every experiment's --quick --json record lands in a
 # tracked BENCH_e<N>.json at the repo root, then bench_diff.py compares the

@@ -28,6 +28,12 @@ linter, so this pass checks them directly over ``src/``:
                           types, trivially_relocatable<T>) in the same
                           file, so a grown field cannot silently fall back
                           to the heap path and change words accounting.
+  FL008 message-aos       a std::vector of MessageHeader / Payload declared
+                          outside sim/message.hpp: bulk message storage must
+                          be a MessagePlanes (the structure-of-arrays plane
+                          container), never a hand-rolled array — parallel
+                          planes that drift apart break the zipped-view
+                          contract and the sticky-capacity accounting.
 
 Violations that are understood and accepted live in the tracked allowlist
 (``scripts/fl_lint_allowlist.txt``); everything else fails the build.
@@ -46,7 +52,7 @@ import sys
 import tempfile
 
 CHECK_IDS = (
-    "FL001", "FL002", "FL003", "FL004", "FL005", "FL006", "FL007",
+    "FL001", "FL002", "FL003", "FL004", "FL005", "FL006", "FL007", "FL008",
 )
 
 
@@ -203,6 +209,26 @@ def check_send_sites(path: str, code: str) -> list:
     return findings
 
 
+# --------------------------------------------------------------------- FL008
+
+MESSAGE_VECTOR = re.compile(
+    r"\bstd::vector\s*<\s*(?:fl::)?(?:sim::)?(?:MessageHeader|Payload)\s*>")
+
+
+def check_message_planes(path: str, code: str) -> list:
+    # sim/message.hpp IS the plane container — its two vectors are the one
+    # legal declaration site.
+    if path.replace("\\", "/").endswith("sim/message.hpp"):
+        return []
+    findings = []
+    for m in MESSAGE_VECTOR.finditer(code):
+        findings.append(Finding(
+            path, line_of(code, m.start()), "FL008",
+            "raw vector of message headers/payloads; bulk message storage "
+            "must be a sim::MessagePlanes (structure-of-arrays planes)"))
+    return findings
+
+
 # ----------------------------------------------------------------- allowlist
 
 def load_allowlist(path: str) -> list:
@@ -253,6 +279,7 @@ def lint_file(path: str, rel: str, allow: list) -> list:
     findings += check_patterns(rel, code)
     findings += check_unordered_iteration(rel, code)
     findings += check_send_sites(rel, code)
+    findings += check_message_planes(rel, code)
     lines = text.split("\n")
     return [f for f in findings if not suppressed(f, lines, allow)]
 
@@ -303,6 +330,9 @@ FIXTURES = {
              "static_assert(sim::Payload::stores_inline<MsgPing>);\n",
     "FL007": "struct MsgPing { int x; };\n"
              "void f(Ctx& ctx) { ctx.send(e, MsgPing{1}, 1); }\n",
+    "FL008": "#include <vector>\n"
+             "std::vector<sim::MessageHeader> headers_;\n"
+             "std::vector<fl::sim::Payload> payloads_;\n",
 }
 
 CLEAN_FIXTURE = (

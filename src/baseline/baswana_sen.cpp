@@ -150,7 +150,7 @@ class BaswanaSenNode final : public sim::NodeProgram {
     announce(ctx, 1);
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, sim::InboxView inbox) override {
     // Odd logical steps: decide from announcements; even: announce next.
     const unsigned iteration = static_cast<unsigned>(ctx.round() / 2) + 1;
     const bool decide_step = (ctx.round() % 2) == 1;
@@ -183,7 +183,7 @@ class BaswanaSenNode final : public sim::NodeProgram {
     for (const EdgeId e : ctx.incident_edges()) ctx.send(e, msg, 2);
   }
 
-  void decide_iteration(std::span<const sim::Message> inbox,
+  void decide_iteration(sim::InboxView inbox,
                         unsigned iteration) {
     if (discarded_) return;
     if (cluster_sampled(seed_, cluster_, iteration, p_)) return;  // stays
@@ -194,12 +194,12 @@ class BaswanaSenNode final : public sim::NodeProgram {
       const auto& a = sim::payload_as<MsgAnnounce>(m);
       if (a.cluster == kInvalidNode) continue;  // discarded neighbour
       if (a.sampled &&
-          (join_edge == kInvalidEdge || m.edge < join_edge)) {
-        join_edge = m.edge;
+          (join_edge == kInvalidEdge || m.edge() < join_edge)) {
+        join_edge = m.edge();
         join_center = a.cluster;
       }
-      auto [it, fresh] = per_cluster.try_emplace(a.cluster, m.edge);
-      if (!fresh && m.edge < it->second) it->second = m.edge;
+      auto [it, fresh] = per_cluster.try_emplace(a.cluster, m.edge());
+      if (!fresh && m.edge() < it->second) it->second = m.edge();
     }
     if (join_edge != kInvalidEdge) {
       spanner_[join_edge] = true;
@@ -211,14 +211,14 @@ class BaswanaSenNode final : public sim::NodeProgram {
     }
   }
 
-  void decide_phase2(std::span<const sim::Message> inbox) {
+  void decide_phase2(sim::InboxView inbox) {
     if (discarded_) return;
     std::unordered_map<NodeId, EdgeId> per_cluster;
     for (const auto& m : inbox) {
       const auto& a = sim::payload_as<MsgAnnounce>(m);
       if (a.cluster == kInvalidNode || a.cluster == cluster_) continue;
-      auto [it, fresh] = per_cluster.try_emplace(a.cluster, m.edge);
-      if (!fresh && m.edge < it->second) it->second = m.edge;
+      auto [it, fresh] = per_cluster.try_emplace(a.cluster, m.edge());
+      if (!fresh && m.edge() < it->second) it->second = m.edge();
     }
     for (const auto& [c, e] : per_cluster) spanner_[e] = true;
   }

@@ -56,13 +56,13 @@ class CollectNode final : public sim::NodeProgram {
     }
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, sim::InboxView inbox) override {
     for (const auto& m : inbox) {
       if (sim::payload_if<MsgWave>(m) != nullptr) {
         if (!has_parent_) {
           has_parent_ = true;
-          parent_edge_ = m.edge;
-          ctx.send(m.edge, MsgChild{}, 1);
+          parent_edge_ = m.edge();
+          ctx.send(m.edge(), MsgChild{}, 1);
           // Propagate the wave everywhere else; expect replies from those.
           waiting_replies_ = 0;
           for (const EdgeId e : ctx.incident_edges())
@@ -72,12 +72,12 @@ class CollectNode final : public sim::NodeProgram {
             }
           maybe_finish_handshake(ctx);
         } else {
-          ctx.send(m.edge, MsgDecline{}, 1);
+          ctx.send(m.edge(), MsgDecline{}, 1);
         }
         continue;
       }
       if (sim::payload_if<MsgChild>(m) != nullptr) {
-        child_edges_.push_back(m.edge);
+        child_edges_.push_back(m.edge());
         --waiting_replies_;
         maybe_finish_handshake(ctx);
         continue;

@@ -195,7 +195,7 @@ class SamplerNode final : public sim::NodeProgram {
     rebuild_root_pool();
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, sim::InboxView inbox) override {
     // Step 1: react to messages.
     for (const auto& msg : inbox) handle(ctx, msg);
     // Step 2: execute phase-start actions due this logical round.
@@ -651,14 +651,14 @@ class SamplerNode final : public sim::NodeProgram {
 
  private:
   // ------------------------------------------------------- msg handler
-  void handle(sim::Context& ctx, const sim::Message& msg) {
+  void handle(sim::Context& ctx, sim::MessageView msg) {
     if (const auto* q = sim::payload_if<MsgQuery>(msg)) {
       (void)q;
       MsgQueryReply reply;
       reply.alive = alive_ && !dying_;
       reply.cluster = cluster_id_;
       reply.boundary = boundary_;
-      ctx.send(msg.edge, reply,
+      ctx.send(msg.edge(), reply,
                static_cast<std::uint32_t>(
                    (boundary_ ? boundary_->size() : 0) + 2));
       ++sent_.queries;
@@ -668,23 +668,23 @@ class SamplerNode final : public sim::NodeProgram {
       Found f;
       f.cluster = r->cluster;
       f.alive = r->alive;
-      f.via = msg.edge;
+      f.via = msg.edge();
       f.list = r->boundary;
       found_buffer_.push_back(std::move(f));
       return;
     }
     if (sim::payload_if<MsgCenterQuery>(msg) != nullptr) {
-      ctx.send(msg.edge, MsgCenterReply{is_center_cluster_, cluster_id_}, 2);
+      ctx.send(msg.edge(), MsgCenterReply{is_center_cluster_, cluster_id_}, 2);
       ++sent_.center;
       return;
     }
     if (const auto* r = sim::payload_if<MsgCenterReply>(msg)) {
-      if (r->is_center) center_buffer_.push_back({r->cluster, msg.edge});
+      if (r->is_center) center_buffer_.push_back({r->cluster, msg.edge()});
       return;
     }
     if (sim::payload_if<MsgSetup>(msg) != nullptr) {
       if (!alive_) return;
-      parent_edge_ = msg.edge;
+      parent_edge_ = msg.edge();
       flood_to_children(ctx, MsgSetup{}, 1);
       return;
     }
@@ -724,7 +724,7 @@ class SamplerNode final : public sim::NodeProgram {
       return;
     }
     if (sim::payload_if<MsgAttach>(msg) != nullptr) {
-      const std::size_t s = slot_of(msg.edge);
+      const std::size_t s = slot_of(msg.edge());
       FL_ENSURE(s != kNoSlot, "attach over non-incident edge");
       flag_tree_[s] = true;
       return;

@@ -34,9 +34,29 @@ Graph Graph::Builder::build() && {
   Graph g;
   g.n_ = n_;
   g.edges_ = std::move(edges_);
+  finalize_csr(g);
+  return g;
+}
 
+EdgeId Graph::StreamBuilder::add_edge(NodeId u, NodeId v) {
+  FL_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+  FL_REQUIRE(u != v, "self-loops are not allowed in a simple graph");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Endpoints{u, v});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+Graph Graph::StreamBuilder::build() && {
+  Graph g;
+  g.n_ = n_;
+  g.edges_ = std::move(edges_);
+  finalize_csr(g);
+  return g;
+}
+
+void Graph::finalize_csr(Graph& g) {
   // Counting sort into CSR form.
-  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  g.offsets_.assign(static_cast<std::size_t>(g.n_) + 1, 0);
   for (const auto& e : g.edges_) {
     ++g.offsets_[e.u + 1];
     ++g.offsets_[e.v + 1];
@@ -52,14 +72,13 @@ Graph Graph::Builder::build() && {
     g.incidence_[cursor[e.v]++] = Incidence{e.u, id};
   }
   // Sort each node's incidence by neighbour id to enable binary search.
-  for (NodeId v = 0; v < n_; ++v) {
+  for (NodeId v = 0; v < g.n_; ++v) {
     auto begin = g.incidence_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
     auto end = g.incidence_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
     std::sort(begin, end, [](const Incidence& a, const Incidence& b) {
       return a.to < b.to;
     });
   }
-  return g;
 }
 
 Endpoints Graph::endpoints(EdgeId e) const {

@@ -45,6 +45,51 @@ Graph read_edge_list(std::istream& is) {
   return std::move(b).build();
 }
 
+Graph read_edge_list_streamed(std::istream& is,
+                              const EdgeListStreamOptions& opt) {
+  FL_REQUIRE(opt.chunk_edges >= 1, "stream chunk must hold at least one edge");
+  std::string line;
+  bool have_n = false;
+  // The builder is constructed lazily at the 'n' line; unique_ptr-free via
+  // a dummy 0-node builder that is replaced (StreamBuilder is movable).
+  Graph::StreamBuilder builder(0);
+  std::vector<Endpoints> chunk;
+  chunk.reserve(opt.chunk_edges);
+  auto flush = [&] {
+    for (const auto& e : chunk) builder.add_edge(e.u, e.v);
+    chunk.clear();  // capacity retained; the reader re-fills in place
+  };
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'n') {
+      FL_REQUIRE(!have_n, "duplicate 'n' line in edge list");
+      NodeId n = 0;
+      ls >> n;
+      FL_REQUIRE(static_cast<bool>(ls), "malformed 'n' line");
+      have_n = true;
+      builder = Graph::StreamBuilder(n);
+      if (opt.reserve_edges > 0) builder.reserve_edges(opt.reserve_edges);
+    } else if (tag == 'e') {
+      FL_REQUIRE(have_n,
+                 "streamed edge list needs the 'n' line before the first "
+                 "'e' line");
+      Endpoints e;
+      ls >> e.u >> e.v;
+      FL_REQUIRE(static_cast<bool>(ls), "malformed 'e' line");
+      chunk.push_back(e);
+      if (chunk.size() >= opt.chunk_edges) flush();
+    } else {
+      FL_REQUIRE(false, std::string("unknown edge-list tag '") + tag + "'");
+    }
+  }
+  FL_REQUIRE(have_n, "edge list missing 'n' line");
+  flush();
+  return std::move(builder).build();
+}
+
 void write_dot(std::ostream& os, const Graph& g,
                std::span<const EdgeId> highlighted_edges,
                const std::string& name) {

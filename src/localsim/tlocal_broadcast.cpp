@@ -62,7 +62,7 @@ class FloodNode final : public sim::NodeProgram {
     send_over_subset(ctx, batch, rounds_ - 1);
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, sim::InboxView inbox) override {
     // Record and regroup everything heard — even after the local send
     // schedule ended, because under a finite bandwidth budget bundles
     // straggle in late and must still be learned and forwarded. Groups
@@ -100,7 +100,7 @@ class FloodNode final : public sim::NodeProgram {
         best_hops_[id] = hops;
         if (hops >= 1)
           bucket(static_cast<std::uint32_t>(hops - 1),
-                 improvement && dedup_reforward_ ? m.edge
+                 improvement && dedup_reforward_ ? m.edge()
                                                  : graph::kInvalidEdge)
               .push_back(id);
       }

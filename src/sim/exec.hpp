@@ -90,16 +90,17 @@ std::vector<ShardRange> partition_nodes(graph::NodeId n, unsigned shards,
                                         std::span<const std::uint64_t> weights);
 
 /// Per-lane execution state. During a round each lane appends sends to its
-/// own outbox, counts messages per destination, and accumulates the words
-/// metric, so stepping touches no shared counters. At the merge the offsets
-/// walk converts counts into the lane's scatter cursors (zeroing the counts
-/// in the same pass, so delivery adds no extra O(n) sweep). `done_count` is
-/// the number of currently-done nodes in the lane's shard, maintained by
-/// transition (±1 when a node's done() answer flips) as nodes are stepped —
-/// the engine's quiesce check sums S of these instead of scanning n
-/// programs.
+/// own outbox (a MessagePlanes, so the merge's header-only passes never
+/// touch payload bytes), counts messages per destination, and accumulates
+/// the words metric, so stepping touches no shared counters. At the merge
+/// the offsets walk converts counts into the lane's scatter cursors
+/// (zeroing the counts in the same pass, so delivery adds no extra O(n)
+/// sweep). `done_count` is the number of currently-done nodes in the
+/// lane's shard, maintained by transition (±1 when a node's done() answer
+/// flips) as nodes are stepped — the engine's quiesce check sums S of
+/// these instead of scanning n programs.
 struct SendLane {
-  std::vector<Message> outbox;
+  MessagePlanes outbox;
   std::vector<std::uint32_t> dest_counts;  // size n
   std::vector<std::uint32_t> cursors;      // size n
   std::uint64_t words = 0;

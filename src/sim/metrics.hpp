@@ -1,7 +1,7 @@
 // Message/round accounting — the quantities Theorems 2, 3 and 11 bound.
 //
 // The network updates these counters as it routes; protocols never touch
-// them. `messages_total` counts every Message object delivered (the paper's
+// them. `messages_total` counts every message delivered (the paper's
 // message complexity); `words_total` additionally weights by the protocol's
 // size hints — every message costs at least one word (enqueue clamps a
 // zero hint up), so word complexity can never be under-reported by an

@@ -143,10 +143,19 @@ void Network::set_congest(CongestConfig congest) {
   congest_ = congest;
 }
 
-std::span<const Message> Network::inbox_span(NodeId v) const {
+InboxView Network::inbox_span(NodeId v) const {
   FL_REQUIRE(v < graph_->num_nodes(), "node id out of range");
-  return {arena_.data() + arena_offsets_[v],
-          arena_offsets_[v + 1] - arena_offsets_[v]};
+  return arena_.range(arena_offsets_[v], arena_offsets_[v + 1]);
+}
+
+std::uint64_t Network::debug_plane_allocations() const {
+  std::uint64_t total = arena_.allocations() + arena_next_.allocations();
+  for (const auto& lane : lanes_) total += lane.outbox.allocations();
+  for (const auto& chunk : congest_chunks_) {
+    total += chunk.carry.allocations() + chunk.carry_next.allocations() +
+             chunk.admitted.allocations();
+  }
+  return total;
 }
 
 void Network::install(
@@ -245,16 +254,15 @@ void Network::enqueue(SendLane& lane, NodeId from, EdgeId edge,
   } else {
     to = resolve_slow(from, edge, inc);
   }
-  Message m;
-  m.edge = edge;
-  m.from = from;
-  m.to = to;
-  m.payload = std::move(payload);
+  MessageHeader h;
+  h.edge = edge;
+  h.from = from;
+  h.to = to;
   // A message costs at least one word no matter what the sender reports:
   // a computed-zero hint would free-ride on words_total (and, in congest
   // mode, on the per-edge budget), making an O(n)-message protocol look
   // word-free. Clamp at the single choke point every send goes through.
-  m.size_hint_words = size_hint_words == 0 ? 1 : size_hint_words;
+  h.size_hint_words = size_hint_words == 0 ? 1 : size_hint_words;
   // Per-message accounting happens here rather than at delivery — every
   // enqueued message is delivered exactly once next round, so the totals
   // are identical and the merge stays a pure data-movement pass. All of it
@@ -262,11 +270,11 @@ void Network::enqueue(SendLane& lane, NodeId from, EdgeId edge,
   // so parallel stepping never contends: words go to the lane, counts to
   // the lane's per-destination array, and messages_per_node is indexed by
   // the sender.
-  lane.words += m.size_hint_words;
-  if (m.size_hint_words > lane.max_words) lane.max_words = m.size_hint_words;
-  ++metrics_.messages_per_node[m.from];
-  ++lane.dest_counts[m.to];
-  lane.outbox.push_back(std::move(m));
+  lane.words += h.size_hint_words;
+  if (h.size_hint_words > lane.max_words) lane.max_words = h.size_hint_words;
+  ++metrics_.messages_per_node[h.from];
+  ++lane.dest_counts[h.to];
+  lane.outbox.push_back(h, std::move(payload));
 }
 
 void Network::begin_if_needed() {
@@ -397,8 +405,13 @@ void Network::merge_lanes(std::uint64_t total) {
   // shard, and step 1 ordered lanes ascending within each destination, so
   // per-destination arrival order is bit-identical to the sequential run
   // — the counting sort is stable across the shard concatenation.
+  // arena_offsets_ is deliberately 32-bit (half the randomly accessed side
+  // array); a round with >= 2^32 - 1 messages would silently wrap it, so
+  // the large-n path must die here with a message naming the cure.
   FL_REQUIRE(total < std::numeric_limits<std::uint32_t>::max(),
-             "more than 2^32 messages in one round");
+             "round message count overflows the 32-bit arena offsets "
+             "(>= 2^32 - 1 messages in one round); split the round or "
+             "promote arena_offsets_ to uint64_t");
   const NodeId n = graph_->num_nodes();
   if (!pool_) {
     LaneScope scope(check_.get(), 0, EnginePhase::Merge);
@@ -454,10 +467,16 @@ void Network::merge_lanes(std::uint64_t total) {
     LaneScope scope(check_.get(), s, EnginePhase::Merge);
     // The scatter writes arena slots for *foreign* destinations — that is
     // the merge contract (cursor ranges are disjoint per lane) — but it
-    // may only drain its own outbox and cursors.
+    // may only drain its own outbox and cursors. Headers relocate with a
+    // plain 16-byte assignment; payloads move once, here.
     if (check_) check_->touch_lane(s, EnginePhase::Merge, "outbox scatter");
     SendLane& lane = lanes_[s];
-    for (auto& m : lane.outbox) arena_[lane.cursors[m.to]++] = std::move(m);
+    for (std::size_t i = 0; i < lane.outbox.size(); ++i) {
+      const MessageHeader& h = lane.outbox.header(i);
+      const std::uint32_t slot = lane.cursors[h.to]++;
+      arena_.header(slot) = h;
+      arena_.payload(slot) = std::move(lane.outbox.payload(i));
+    }
     lane.outbox.clear();
   };
   if (pool_) {
@@ -502,13 +521,16 @@ std::uint64_t Network::congest_admit() {
     if (check_) check_->touch_carry(c, "carry queue");
     chunk.admitted.clear();
     chunk.carry_next.clear();
-    auto consider = [&](Message& m) {
-      const std::size_t key = 2 * static_cast<std::size_t>(m.edge) +
-                              (m.to > m.from ? 1 : 0);
+    // The budget decision reads only the 16-byte header; the payload is
+    // moved once, wherever the message lands (admitted or carried). The
+    // Strict throw reads the payload type, but that path never returns.
+    auto consider = [&](const MessageHeader& h, Payload& p) {
+      const std::size_t key = 2 * static_cast<std::size_t>(h.edge) +
+                              (h.to > h.from ? 1 : 0);
       // A directed edge delivers to exactly one node, so its budget state
       // belongs to the destination's chunk — the property that lets the
       // admission pass parallelize with no shared writes.
-      if (check_) check_->touch_admit_dest(m.to, "per-edge budget tally");
+      if (check_) check_->touch_admit_dest(h.to, "per-edge budget tally");
       EdgeBudgetState& st = congest_edges_[key];
       if (st.stamp != stamp) {
         const bool backlogged = st.blocked && st.stamp + 1 == stamp;
@@ -516,38 +538,38 @@ std::uint64_t Network::congest_admit() {
         st.blocked = false;
         st.stamp = stamp;
       }
-      const std::uint64_t w = m.size_hint_words;
+      const std::uint64_t w = h.size_hint_words;
       if (!st.blocked && st.remaining >= w) {
         st.remaining -= w;
-        chunk.admitted.push_back(std::move(m));
+        chunk.admitted.push_back(h, std::move(p));
         return;
       }
       if (strict) {
-        const std::type_info* held = m.payload.type();
+        const std::type_info* held = p.type();
         throw CongestViolation(
-            "CONGEST budget exceeded: edge " + std::to_string(m.edge) +
-                " (" + std::to_string(m.from) + " -> " +
-                std::to_string(m.to) + ") would carry " +
+            "CONGEST budget exceeded: edge " + std::to_string(h.edge) +
+                " (" + std::to_string(h.from) + " -> " +
+                std::to_string(h.to) + ") would carry " +
                 std::to_string(budget - st.remaining + w) + " words in round " +
                 std::to_string(round_) + " (budget " + std::to_string(budget) +
                 " words/edge/round); offending payload: " +
                 (held == nullptr ? std::string("<empty>")
                                  : detail::type_name(*held)),
-            m.edge, m.from, m.to, round_, budget - st.remaining + w, budget);
+            h.edge, h.from, h.to, round_, budget - st.remaining + w, budget);
       }
       st.blocked = true;
       ++chunk.deferred_events;
       if (check_) check_->touch_carry(c, "carry queue");
-      chunk.carry_next.push_back(std::move(m));
+      chunk.carry_next.push_back(h, std::move(p));
     };
     std::size_t cursor = 0;
     for (NodeId v = range.begin; v < range.end; ++v) {
       const std::size_t before = chunk.admitted.size();
-      for (; cursor < chunk.carry.size() && chunk.carry[cursor].to == v;
+      for (; cursor < chunk.carry.size() && chunk.carry.header(cursor).to == v;
            ++cursor)
-        consider(chunk.carry[cursor]);
+        consider(chunk.carry.header(cursor), chunk.carry.payload(cursor));
       for (std::uint32_t i = arena_offsets_[v]; i < arena_offsets_[v + 1]; ++i)
-        consider(arena_[i]);
+        consider(arena_.header(i), arena_.payload(i));
       congest_counts_[v] =
           static_cast<std::uint32_t>(chunk.admitted.size() - before);
     }
@@ -571,15 +593,19 @@ std::uint64_t Network::congest_admit() {
     admitted_total += w;
   }
   FL_REQUIRE(admitted_total < std::numeric_limits<std::uint32_t>::max(),
-             "more than 2^32 messages admitted in one round");
-  congest_arena_.resize(static_cast<std::size_t>(admitted_total));
+             "admitted message count overflows the 32-bit arena offsets "
+             "(>= 2^32 - 1 messages admitted in one round); split the round "
+             "or promote arena_offsets_ to uint64_t");
+  arena_next_.resize(static_cast<std::size_t>(admitted_total));
   auto relocate = [&](unsigned c) {
     LaneScope scope(check_.get(), c, EnginePhase::Admit);
     const ShardRange range = shards_[c];
     CongestChunk& chunk = congest_chunks_[c];
     auto base = static_cast<std::uint32_t>(chunk_weight_[c]);
-    std::move(chunk.admitted.begin(), chunk.admitted.end(),
-              congest_arena_.begin() + base);
+    for (std::size_t i = 0; i < chunk.admitted.size(); ++i) {
+      arena_next_.header(base + i) = chunk.admitted.header(i);
+      arena_next_.payload(base + i) = std::move(chunk.admitted.payload(i));
+    }
     for (NodeId v = range.begin; v < range.end; ++v) {
       if (check_) check_->touch_admit_dest(v, "admitted offsets");
       arena_offsets_[v] = base;
@@ -593,7 +619,7 @@ std::uint64_t Network::congest_admit() {
   }
   arena_offsets_[graph_->num_nodes()] =
       static_cast<std::uint32_t>(admitted_total);
-  arena_.swap(congest_arena_);
+  arena_.swap(arena_next_);
   return admitted_total;
 }
 

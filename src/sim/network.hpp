@@ -136,9 +136,16 @@ class Network {
   /// congest carry queue — out of the admission phase this must throw.
   void debug_mutate_carry(unsigned chunk);
 
-  /// Messages delivered to `v` this round, valid until the next round
+  /// Messages delivered to `v` this round — a zipped view into the
+  /// delivery arena's header/payload planes, valid until the next round
   /// advances. Exposed for tests; programs receive it via on_round.
-  std::span<const Message> inbox_span(graph::NodeId v) const;
+  InboxView inbox_span(graph::NodeId v) const;
+
+  /// Test-only: total capacity-growth events across every message plane
+  /// the engine owns (both arena buffers, all lane outboxes, all congest
+  /// carry/admitted buffers). Steady-state rounds must not move this —
+  /// the zero-allocation regression tests pin it.
+  std::uint64_t debug_plane_allocations() const;
 
   NodeProgram& program(graph::NodeId v);
   const NodeProgram& program(graph::NodeId v) const;
@@ -224,16 +231,28 @@ class Network {
   std::vector<std::uint8_t> done_state_;
 
   // Delivery storage: this round's messages, counting-sorted by
-  // destination. Node v's inbox is arena_[arena_offsets_[v] ..
-  // arena_offsets_[v + 1]). Rebuilt in place each round; per-destination
-  // counts are maintained incrementally by enqueue() in the sending lane
-  // (SendLane::dest_counts), so the merge needs no counting pass over the
-  // outboxes — offsets arithmetic plus one relocation pass. 32-bit offsets
-  // keep the randomly accessed side arrays half the size (a round is
-  // capped well below 2^32 messages — merge_lanes enforces it). With a
-  // pool, the offsets arithmetic itself runs chunk-parallel over the node
-  // shards (merge_lanes).
-  std::vector<Message> arena_;
+  // destination, held as structure-of-arrays planes (message.hpp). Node
+  // v's inbox is the arena's element range [arena_offsets_[v],
+  // arena_offsets_[v + 1]) — one offsets table indexes both planes. The
+  // merge's offsets walk and the congest metering read only the 16-byte
+  // header plane; payloads move once, at the scatter. Rebuilt in place
+  // each round with sticky capacity (steady-state rounds perform zero
+  // plane allocations — debug_plane_allocations() pins it);
+  // per-destination counts are maintained incrementally by enqueue() in
+  // the sending lane (SendLane::dest_counts), so the merge needs no
+  // counting pass over the outboxes — offsets arithmetic plus one
+  // relocation pass. 32-bit offsets keep the randomly accessed side
+  // arrays half the size; a round is capped below 2^32 messages, which
+  // merge_lanes enforces with an explicit overflow guard (the n=10M path
+  // must fail loudly, never wrap). With a pool, the offsets arithmetic
+  // itself runs chunk-parallel over the node shards (merge_lanes).
+  //
+  // arena_next_ is the persistent second buffer of the double-buffered
+  // arena: the admission pass relocates into it and the two swap, so both
+  // buffers' capacities survive across rounds and the engine never holds
+  // more than the current + next frontier (never the run).
+  MessagePlanes arena_;
+  MessagePlanes arena_next_;
   std::vector<std::uint32_t> arena_offsets_;   // size n + 1
   std::vector<std::uint64_t> chunk_weight_;    // offsets scratch, size S
 
@@ -255,16 +274,18 @@ class Network {
     bool blocked = false;         ///< a message deferred in stamped round
   };
   std::vector<EdgeBudgetState> congest_edges_;  // size 2m: 2e + (to>from)
+  // All three per-chunk buffers are MessagePlanes with arena-style sticky
+  // capacity: clear() + swap() between rounds, never reallocation, so a
+  // steady-state budgeted round is as allocation-free as a LOCAL one.
   struct CongestChunk {
-    std::vector<Message> carry;       // deferred; destination-ascending,
-                                      // FIFO within each directed edge
-    std::vector<Message> carry_next;  // double buffer for the next round
-    std::vector<Message> admitted;    // this round, destination-ascending
+    MessagePlanes carry;       // deferred; destination-ascending,
+                               // FIFO within each directed edge
+    MessagePlanes carry_next;  // double buffer for the next round
+    MessagePlanes admitted;    // this round, destination-ascending
     std::uint64_t deferred_events = 0;
   };
   std::vector<CongestChunk> congest_chunks_;   // one per shard
   std::vector<std::uint32_t> congest_counts_;  // admitted per node, size n
-  std::vector<Message> congest_arena_;         // swap target for arena_
   std::uint64_t carry_total_ = 0;  // messages across all carry queues
 
   // Logical ownership / phase checker (check.hpp). Null unless FL_SIM_CHECK

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "graph/ids.hpp"
 #include "sim/message.hpp"
@@ -96,8 +95,11 @@ class NodeProgram {
   /// Called once, before the first round. May send messages.
   virtual void on_start(Context& ctx) = 0;
 
-  /// Called once per round with all messages delivered this round.
-  virtual void on_round(Context& ctx, std::span<const Message> inbox) = 0;
+  /// Called once per round with all messages delivered this round. The
+  /// inbox is a zipped view into the delivery arena's header/payload
+  /// planes (message.hpp); views and payload references obtained from it
+  /// are valid only until on_round returns.
+  virtual void on_round(Context& ctx, InboxView inbox) = 0;
 
   /// A network halts when every program reports done() and no messages are
   /// in flight. Programs may keep receiving messages after done() turns

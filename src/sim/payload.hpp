@@ -91,7 +91,8 @@ class BadPayloadCast final : public std::bad_cast {
 class Payload {
  public:
   /// Inline small-buffer geometry. 24 bytes + the tagged ops word keep
-  /// sizeof(Payload) == 32, which packs Message to its 48-byte target.
+  /// sizeof(Payload) == 32 — the payload plane's row size in the
+  /// structure-of-arrays delivery arena (message.hpp pins it).
   static constexpr std::size_t kInlineSize = 24;
   static constexpr std::size_t kInlineAlign = 8;
 

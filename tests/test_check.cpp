@@ -40,10 +40,10 @@ class Chatter final : public NodeProgram {
 
   void on_start(Context& ctx) override { maybe_send(ctx); }
 
-  void on_round(Context& ctx, std::span<const Message> inbox) override {
+  void on_round(Context& ctx, InboxView inbox) override {
     for (const auto& m : inbox) {
       digest = digest * 1099511628211ull ^ payload_as<std::uint64_t>(m);
-      digest ^= m.from + 31 * m.edge;
+      digest ^= m.from() + 31 * m.edge();
     }
     maybe_send(ctx);
   }

@@ -88,7 +88,7 @@ TEST(CongestConfig, SetCongestValidation) {
     class P final : public NodeProgram {
      public:
       void on_start(Context&) override {}
-      void on_round(Context&, std::span<const Message>) override {}
+      void on_round(Context&, InboxView) override {}
       bool done() const override { return true; }
     };
     return std::make_unique<P>();
@@ -111,7 +111,7 @@ TEST(CongestWords, ZeroWordHintClampsToOneWord) {
       void on_start(Context& ctx) override {
         if (self_ == 0) ctx.send(ctx.incident_edges()[0], 0, /*words=*/0);
       }
-      void on_round(Context&, std::span<const Message>) override {}
+      void on_round(Context&, InboxView) override {}
       bool done() const override { return true; }
 
      private:
@@ -136,7 +136,7 @@ TEST(CongestWords, PreRunSendsLandInWordsTotal) {
       class P final : public NodeProgram {
        public:
         void on_start(Context&) override {}
-        void on_round(Context&, std::span<const Message>) override {}
+        void on_round(Context&, InboxView) override {}
         bool done() const override { return true; }
       };
       return std::make_unique<P>();
@@ -168,7 +168,7 @@ class WordBurst final : public NodeProgram {
       for (unsigned i = 1; i <= count_; ++i)
         ctx.send(ctx.incident_edges()[0], i, words_);
   }
-  void on_round(Context& ctx, std::span<const Message> inbox) override {
+  void on_round(Context& ctx, InboxView inbox) override {
     for (const auto& m : inbox)
       got.emplace_back(ctx.round(), payload_as<unsigned>(m));
   }
@@ -332,10 +332,10 @@ class WordChatter final : public NodeProgram {
   std::vector<std::tuple<std::size_t, NodeId, EdgeId, std::uint64_t>> heard;
 
   void on_start(Context& ctx) override { maybe_send(ctx); }
-  void on_round(Context& ctx, std::span<const Message> inbox) override {
+  void on_round(Context& ctx, InboxView inbox) override {
     for (const auto& m : inbox) {
-      EXPECT_EQ(m.to, self_);
-      heard.emplace_back(ctx.round(), m.from, m.edge,
+      EXPECT_EQ(m.to(), self_);
+      heard.emplace_back(ctx.round(), m.from(), m.edge(),
                          payload_as<std::uint64_t>(m));
     }
     maybe_send(ctx);

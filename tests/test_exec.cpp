@@ -222,10 +222,10 @@ class ChatterProbe final : public NodeProgram {
 
   void on_start(Context& ctx) override { maybe_send(ctx); }
 
-  void on_round(Context& ctx, std::span<const Message> inbox) override {
+  void on_round(Context& ctx, InboxView inbox) override {
     for (const auto& m : inbox) {
-      EXPECT_EQ(m.to, self_);
-      heard.emplace_back(ctx.round(), m.from, m.edge,
+      EXPECT_EQ(m.to(), self_);
+      heard.emplace_back(ctx.round(), m.from(), m.edge(),
                          payload_as<std::uint64_t>(m));
     }
     maybe_send(ctx);
@@ -334,7 +334,7 @@ class Silent final : public NodeProgram {
  public:
   explicit Silent(NodeId) {}
   void on_start(Context&) override {}
-  void on_round(Context&, std::span<const Message>) override {}
+  void on_round(Context&, InboxView) override {}
   bool done() const override { return true; }
 };
 
@@ -362,7 +362,7 @@ class Burst final : public NodeProgram {
     if (self_ == 0)
       for (unsigned i = 1; i <= 4; ++i) ctx.send(ctx.incident_edges()[0], i);
   }
-  void on_round(Context&, std::span<const Message> inbox) override {
+  void on_round(Context&, InboxView inbox) override {
     for (const auto& m : inbox) got.push_back(payload_as<unsigned>(m));
   }
   bool done() const override { return true; }
@@ -416,7 +416,7 @@ TEST(ParallelNetwork, ContractViolationsSurfaceFromWorkerLanes) {
       void on_start(Context& ctx) override {
         if (self_ == 7) ctx.send(e_, 1);
       }
-      void on_round(Context&, std::span<const Message>) override {}
+      void on_round(Context&, InboxView) override {}
       bool done() const override { return true; }
 
      private:

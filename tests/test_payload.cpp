@@ -121,10 +121,9 @@ TEST(Payload, MoveOnlyPayloadType) {
 // ------------------------------------------------------ cast diagnostics
 
 TEST(Payload, CrossTypeCastNamesBothTypes) {
-  Message m;
-  m.payload = Payload(TrivialSmall{});
+  const Payload p(TrivialSmall{});
   try {
-    (void)payload_as<Oversized>(m);
+    (void)payload_as<Oversized>(p);
     FAIL() << "expected BadPayloadCast";
   } catch (const BadPayloadCast& e) {
     const std::string what = e.what();
@@ -134,24 +133,43 @@ TEST(Payload, CrossTypeCastNamesBothTypes) {
 }
 
 TEST(Payload, EmptyPayloadCastSaysEmpty) {
-  Message m;  // default: empty payload
-  EXPECT_EQ(m.payload.type(), nullptr);
+  const Payload p{};  // empty
+  EXPECT_EQ(p.type(), nullptr);
   try {
-    (void)payload_as<TrivialSmall>(m);
+    (void)payload_as<TrivialSmall>(p);
     FAIL() << "expected BadPayloadCast";
   } catch (const BadPayloadCast& e) {
     EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos);
   }
-  EXPECT_EQ(payload_if<TrivialSmall>(m), nullptr);
+  EXPECT_EQ(payload_if<TrivialSmall>(p), nullptr);
 }
 
 TEST(Payload, PayloadIfMatchesAndDispatches) {
-  Message m;
-  m.payload = Payload(SharedSmall{std::make_shared<int>(9)});
-  EXPECT_EQ(payload_if<TrivialSmall>(m), nullptr);
-  const auto* s = payload_if<SharedSmall>(m);
+  const Payload p(SharedSmall{std::make_shared<int>(9)});
+  EXPECT_EQ(payload_if<TrivialSmall>(p), nullptr);
+  const auto* s = payload_if<SharedSmall>(p);
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(*s->p, 9);
+}
+
+// The zipped view is two pointers; a view (and references through it) must
+// stay valid exactly as long as the planes it points into are unmutated.
+TEST(Payload, MessageViewReadsBothPlanes) {
+  MessagePlanes planes;
+  MessageHeader h;
+  h.edge = 7;
+  h.from = 1;
+  h.to = 2;
+  h.size_hint_words = 3;
+  planes.push_back(h, Payload(TrivialSmall{11, 22}));
+  const MessageView m = planes.view(0);
+  EXPECT_EQ(m.edge(), 7u);
+  EXPECT_EQ(m.from(), 1u);
+  EXPECT_EQ(m.to(), 2u);
+  EXPECT_EQ(m.size_hint_words(), 3u);
+  EXPECT_EQ(&m.header(), &planes.header(0));
+  EXPECT_EQ(&m.payload(), &planes.payload(0));
+  EXPECT_EQ(payload_as<TrivialSmall>(m).a, 11u);
 }
 
 // --------------------------------------- delivery golden trace (pinned)
@@ -168,7 +186,7 @@ class MixedPayloadProbe final : public NodeProgram {
 
   void on_start(Context& ctx) override { maybe_send(ctx); }
 
-  void on_round(Context& ctx, std::span<const Message> inbox) override {
+  void on_round(Context& ctx, InboxView inbox) override {
     // (Tags built via += — GCC 12's -Wrestrict false-positives on
     // char* + std::string temporaries under -Werror.)
     auto tag = [](char kind, std::uint64_t v) {
@@ -178,13 +196,13 @@ class MixedPayloadProbe final : public NodeProgram {
     };
     for (const auto& m : inbox) {
       if (const auto* t = payload_if<TrivialSmall>(m)) {
-        heard.emplace_back(ctx.round(), m.from, tag('t', t->a));
+        heard.emplace_back(ctx.round(), m.from(), tag('t', t->a));
       } else if (const auto* s = payload_if<SharedSmall>(m)) {
-        heard.emplace_back(ctx.round(), m.from,
+        heard.emplace_back(ctx.round(), m.from(),
                            tag('s', static_cast<std::uint64_t>(*s->p)));
       } else {
         const auto& o = payload_as<Oversized>(m);
-        heard.emplace_back(ctx.round(), m.from, tag('o', o.words[0]));
+        heard.emplace_back(ctx.round(), m.from(), tag('o', o.words[0]));
       }
     }
     maybe_send(ctx);
@@ -261,10 +279,10 @@ TEST(Payload, ArenaRecyclingReleasesOwnersExactlyOnce) {
             for (int i = 0; i < 3; ++i)
               ctx.send(ctx.incident_edges()[0], SharedSmall{tok_});
         }
-        void on_round(Context& ctx, std::span<const Message> inbox) override {
+        void on_round(Context& ctx, InboxView inbox) override {
           for (const auto& m : inbox)  // echo once, then quiesce
             if (self_ == 1 && ctx.round() == 1)
-              ctx.send(m.edge, SharedSmall{payload_as<SharedSmall>(m).p});
+              ctx.send(m.edge(), SharedSmall{payload_as<SharedSmall>(m).p});
         }
         bool done() const override { return true; }
 

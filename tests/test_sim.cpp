@@ -32,14 +32,14 @@ class RingToken final : public NodeProgram {
     if (self_ == 0) ctx.send(ctx.incident_edges()[0], unsigned{1});
   }
 
-  void on_round(Context& ctx, std::span<const Message> inbox) override {
+  void on_round(Context& ctx, InboxView inbox) override {
     for (const auto& m : inbox) {
       const auto hop = payload_as<unsigned>(m);
       ++received;
       if (hop < hops_) {
         // Forward over the other edge.
         for (const EdgeId e : ctx.incident_edges())
-          if (e != m.edge) {
+          if (e != m.edge()) {
             ctx.send(e, hop + 1);
             break;
           }
@@ -73,7 +73,7 @@ class FloodOnce final : public NodeProgram {
   void on_start(Context& ctx) override {
     for (const EdgeId e : ctx.incident_edges()) ctx.send(e, self_);
   }
-  void on_round(Context&, std::span<const Message> inbox) override {
+  void on_round(Context&, InboxView inbox) override {
     for (const auto& m : inbox) heard.push_back(payload_as<NodeId>(m));
   }
   bool done() const override { return true; }
@@ -118,7 +118,7 @@ class NeedsKt1 final : public NodeProgram {
     // Legal only under KT1:
     first_neighbor = ctx.neighbor(ctx.incident_edges()[0]);
   }
-  void on_round(Context&, std::span<const Message>) override {}
+  void on_round(Context&, InboxView) override {}
   bool done() const override { return true; }
   NodeId first_neighbor = graph::kInvalidNode;
 };
@@ -148,7 +148,7 @@ TEST(Network, Kt0ForbidsEdgeIdEnumeration) {
     class P final : public NodeProgram {
      public:
       void on_start(Context& ctx) override { (void)ctx.incident_edges(); }
-      void on_round(Context&, std::span<const Message>) override {}
+      void on_round(Context&, InboxView) override {}
       bool done() const override { return true; }
       Knowledge required_knowledge() const override { return Knowledge::KT0; }
     };
@@ -170,7 +170,7 @@ TEST(Network, RejectsSendOverForeignEdge) {
       void on_start(Context& ctx) override {
         if (self_ == 0) ctx.send(e_, 1);  // 0 is not an endpoint of 2-3
       }
-      void on_round(Context&, std::span<const Message>) override {}
+      void on_round(Context&, InboxView) override {}
       bool done() const override { return true; }
 
      private:
@@ -192,8 +192,8 @@ TEST(Network, MaxRoundsStopsNonTerminatingRun) {
       void on_start(Context& ctx) override {
         ctx.send(ctx.incident_edges()[0], 0);
       }
-      void on_round(Context& ctx, std::span<const Message> inbox) override {
-        for (const auto& m : inbox) ctx.send(m.edge, 0);
+      void on_round(Context& ctx, InboxView inbox) override {
+        for (const auto& m : inbox) ctx.send(m.edge(), 0);
       }
       bool done() const override { return false; }
     };
@@ -225,11 +225,11 @@ class PartitionProbe final : public NodeProgram {
 
   void on_start(Context& ctx) override { maybe_send(ctx); }
 
-  void on_round(Context& ctx, std::span<const Message> inbox) override {
+  void on_round(Context& ctx, InboxView inbox) override {
     for (const auto& m : inbox) {
-      EXPECT_EQ(m.to, self_);  // span partition: only own messages
-      EXPECT_NE(m.from, self_);
-      heard.emplace_back(ctx.round(), m.from, m.edge);
+      EXPECT_EQ(m.to(), self_);  // span partition: only own messages
+      EXPECT_NE(m.from(), self_);
+      heard.emplace_back(ctx.round(), m.from(), m.edge());
     }
     maybe_send(ctx);
   }
@@ -313,7 +313,7 @@ class Burst final : public NodeProgram {
     if (self_ == 0)
       for (unsigned i = 1; i <= 4; ++i) ctx.send(ctx.incident_edges()[0], i);
   }
-  void on_round(Context&, std::span<const Message> inbox) override {
+  void on_round(Context&, InboxView inbox) override {
     for (const auto& m : inbox) got.push_back(payload_as<unsigned>(m));
   }
   bool done() const override { return true; }
@@ -346,7 +346,7 @@ TEST(Network, WordAccounting) {
       void on_start(Context& ctx) override {
         if (self_ == 0) ctx.send(ctx.incident_edges()[0], 0, /*words=*/10);
       }
-      void on_round(Context&, std::span<const Message>) override {}
+      void on_round(Context&, InboxView) override {}
       bool done() const override { return true; }
 
      private:
@@ -374,7 +374,7 @@ class DoneProbe final : public NodeProgram {
   mutable std::uint64_t done_calls = 0;
 
   void on_start(Context&) override { ++steps_; }
-  void on_round(Context&, std::span<const Message>) override { ++steps_; }
+  void on_round(Context&, InboxView) override { ++steps_; }
   bool done() const override {
     ++done_calls;
     return steps_ >= finish_after_;
@@ -428,7 +428,7 @@ class Flapper final : public NodeProgram {
   void on_start(Context& ctx) override {
     if (self_ == 0) ctx.send(ctx.incident_edges()[0], unsigned{1});
   }
-  void on_round(Context&, std::span<const Message> inbox) override {
+  void on_round(Context&, InboxView inbox) override {
     if (!inbox.empty()) {
       awake_ = hold_;
     } else if (awake_ > 0) {
