@@ -29,6 +29,7 @@
 #include "graph/spanner_check.hpp"
 #include "graph/generators.hpp"
 #include "localsim/tlocal_broadcast.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -288,6 +289,7 @@ struct CongestRow {
   sim::RunStats local;
   sim::RunStats congest;
   std::uint64_t deferrals = 0;
+  std::uint64_t carry_peak = 0;  ///< deepest total carry backlog seen
   double congest_seconds = 0.0;
 };
 
@@ -331,6 +333,7 @@ std::vector<CongestRow> run_congest_sweep(const bench::Env& env) {
         row.congest = net.run(64 * (static_cast<std::size_t>(rounds) + 4));
         row.congest_seconds = timer.seconds();
         row.deferrals = net.metrics().deferrals_total;
+        row.carry_peak = net.metrics().carry_peak;
       }
       FL_REQUIRE(row.local.terminated && row.congest.terminated,
                  "congest sweep run did not terminate");
@@ -355,12 +358,13 @@ void emit_congest_json(const std::vector<CongestRow>& rows,
         "    {\"n\": %u, \"family\": \"%s\", \"edges\": %llu, "
         "\"words_per_msg\": %u, \"budget\": %llu, "
         "\"local_rounds\": %zu, \"congest_rounds\": %zu, "
-        "\"messages\": %llu, \"deferrals\": %llu, "
+        "\"messages\": %llu, \"deferrals\": %llu, \"carry_peak\": %llu, "
         "\"congest_msgs_per_sec\": %.0f}%s\n",
         r.n, r.family.c_str(), static_cast<unsigned long long>(r.edges),
         r.words, static_cast<unsigned long long>(r.budget), r.local.rounds,
         r.congest.rounds, static_cast<unsigned long long>(r.congest.messages),
         static_cast<unsigned long long>(r.deferrals),
+        static_cast<unsigned long long>(r.carry_peak),
         r.congest_seconds > 0.0
             ? static_cast<double>(r.congest.messages) / r.congest_seconds
             : 0.0,
@@ -376,7 +380,7 @@ int run_congest_bench(const bench::Env& env) {
   } else {
     util::Table table({"n", "family", "edges", "words/msg", "budget",
                        "LOCAL rounds", "budgeted rounds", "stretch",
-                       "deferrals", "congest Mmsg/s"});
+                       "deferrals", "carry peak", "congest Mmsg/s"});
     for (const CongestRow& r : rows) {
       table.add(static_cast<std::size_t>(r.n), r.family,
                 static_cast<unsigned long long>(r.edges), r.words,
@@ -386,6 +390,7 @@ int run_congest_bench(const bench::Env& env) {
                                 static_cast<double>(r.local.rounds),
                             2),
                 static_cast<unsigned long long>(r.deferrals),
+                static_cast<unsigned long long>(r.carry_peak),
                 util::fixed(r.congest_seconds > 0.0
                                 ? static_cast<double>(r.congest.messages) /
                                       r.congest_seconds / 1e6
@@ -542,6 +547,185 @@ int run_capacity_bench(const bench::Env& env, unsigned threads) {
   return 0;
 }
 
+// ------------------------------------------------- round profile (tracing on)
+
+/// One report row per engine round, read back from the tracer's
+/// RoundProfile timeline after a traced flood. Model columns (messages,
+/// words, deferrals, carry depth) are bit-identical across thread counts;
+/// the *_ns columns are wall-clock advisory data and never diffed.
+struct ProfileRow {
+  std::size_t round = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  std::uint64_t deferrals = 0;
+  std::uint64_t carry_depth = 0;
+  std::size_t lanes = 0;
+  std::uint64_t quiesce_ns = 0;
+  std::uint64_t step_ns = 0;
+  std::uint64_t merge_ns = 0;
+  std::uint64_t admit_ns = 0;
+  std::uint64_t busy_max_ns = 0;
+  std::uint64_t busy_avg_ns = 0;
+  double max_over_avg_busy = 0.0;
+  std::uint64_t rss_kb = 0;
+};
+
+void emit_profile_json(const std::vector<ProfileRow>& rows,
+                       const bench::Env& env, unsigned threads,
+                       const char* trace_path) {
+  std::printf("{\n  \"bench\": \"round_profile\",\n");
+  std::printf("  \"seed\": %llu,\n  \"quick\": %s,\n",
+              static_cast<unsigned long long>(env.seed),
+              env.quick ? "true" : "false");
+  std::printf("  \"threads\": %u,\n  \"trace\": \"%s\",\n", threads,
+              trace_path);
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ProfileRow& r = rows[i];
+    std::printf(
+        "    {\"round\": %zu, \"messages\": %llu, \"words\": %llu, "
+        "\"deferrals\": %llu, \"carry_depth\": %llu, \"lanes\": %zu, "
+        "\"quiesce_ns\": %llu, \"step_ns\": %llu, \"merge_ns\": %llu, "
+        "\"admit_ns\": %llu, \"busy_max_ns\": %llu, \"busy_avg_ns\": %llu, "
+        "\"max_over_avg_busy\": %.4f, \"rss_kb\": %llu}%s\n",
+        r.round, static_cast<unsigned long long>(r.messages),
+        static_cast<unsigned long long>(r.words),
+        static_cast<unsigned long long>(r.deferrals),
+        static_cast<unsigned long long>(r.carry_depth), r.lanes,
+        static_cast<unsigned long long>(r.quiesce_ns),
+        static_cast<unsigned long long>(r.step_ns),
+        static_cast<unsigned long long>(r.merge_ns),
+        static_cast<unsigned long long>(r.admit_ns),
+        static_cast<unsigned long long>(r.busy_max_ns),
+        static_cast<unsigned long long>(r.busy_avg_ns), r.max_over_avg_busy,
+        static_cast<unsigned long long>(r.rss_kb),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+/// Traced flood: run the delivery driver with tracing ON, report the
+/// per-round phase/lane timeline, and leave the Chrome-trace artifact (plus
+/// its .jsonl profile dump) in the working directory for Perfetto. Exits
+/// nonzero if the artifact is missing/empty or the per-lane data the
+/// acceptance contract promises (step:lane spans, busy times) is absent.
+int run_profile_bench(const bench::Env& env, unsigned threads) {
+  const graph::NodeId n = env.quick ? 10000 : 100000;
+  const unsigned rounds = 4;
+  const char* trace_path = "TRACE_micro_perf.json";
+  util::Xoshiro256 rng(env.seed + n + 1);
+  const graph::Graph g = graph::erdos_renyi_gnm(n, 8ull * n, rng);
+
+  std::vector<ProfileRow> rows;
+  std::uint64_t step_lane_spans = 0;
+  std::uint64_t dropped = 0;
+  {
+    sim::Network net(g, sim::Knowledge::EdgeIds, env.seed);
+    net.set_parallelism({threads});
+    obs::TraceConfig tcfg;
+    tcfg.enabled = true;
+    tcfg.path = trace_path;
+    tcfg.level = obs::TraceLevel::Spans;
+    net.set_trace(std::move(tcfg));
+    net.install_all<FloodRounds>(rounds);
+    const sim::RunStats stats = net.run(static_cast<std::size_t>(rounds) + 4);
+    FL_REQUIRE(stats.terminated, "profile flood did not terminate");
+    for (const obs::RoundProfile& p : net.profile()) {
+      ProfileRow row;
+      row.round = p.round;
+      row.messages = p.messages;
+      row.words = p.words;
+      row.deferrals = p.deferrals;
+      row.carry_depth = p.carry_depth;
+      row.lanes = p.lane_busy_ns.size();
+      row.quiesce_ns = p.quiesce_ns;
+      row.step_ns = p.step_ns;
+      row.merge_ns = p.merge_ns;
+      row.admit_ns = p.admit_ns;
+      std::uint64_t busy_max = 0;
+      std::uint64_t busy_sum = 0;
+      for (const std::uint64_t b : p.lane_busy_ns) {
+        if (b > busy_max) busy_max = b;
+        busy_sum += b;
+      }
+      row.busy_max_ns = busy_max;
+      row.busy_avg_ns =
+          p.lane_busy_ns.empty() ? 0 : busy_sum / p.lane_busy_ns.size();
+      row.max_over_avg_busy = p.max_over_avg_busy;
+      row.rss_kb = p.rss_kb;
+      rows.push_back(row);
+    }
+    for (std::size_t t = 0; t < net.tracer()->ring_count(); ++t)
+      net.tracer()->ring(t).for_each([&](const obs::SpanEvent& ev) {
+        if (ev.kind == obs::SpanKind::StepLane) ++step_lane_spans;
+      });
+    dropped = net.tracer()->dropped_spans();
+  }  // ~Network finalizes trace_path and trace_path.jsonl
+
+  if (env.json) {
+    emit_profile_json(rows, env, threads, trace_path);
+  } else {
+    util::Table table({"round", "messages", "words", "carry", "lanes",
+                       "quiesce us", "step us", "merge us", "admit us",
+                       "busy max/avg", "RSS MiB"});
+    for (const ProfileRow& r : rows) {
+      table.add(r.round, static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.words),
+                static_cast<unsigned long long>(r.carry_depth), r.lanes,
+                util::fixed(static_cast<double>(r.quiesce_ns) / 1e3, 1),
+                util::fixed(static_cast<double>(r.step_ns) / 1e3, 1),
+                util::fixed(static_cast<double>(r.merge_ns) / 1e3, 1),
+                util::fixed(static_cast<double>(r.admit_ns) / 1e3, 1),
+                util::fixed(r.max_over_avg_busy, 2),
+                util::fixed(static_cast<double>(r.rss_kb) / 1024.0, 1));
+    }
+    env.emit(table, "Round profile: traced flood at n=" + std::to_string(n) +
+                        ", " + std::to_string(threads) + " lanes (trace: " +
+                        trace_path + ")");
+    if (dropped > 0)
+      std::fprintf(stderr, "profile: %llu spans dropped to ring overflow\n",
+                   static_cast<unsigned long long>(dropped));
+  }
+
+  // Artifact checks: the acceptance contract is a Perfetto-loadable trace
+  // with per-lane step spans and per-round phase timings.
+  if (rows.empty()) {
+    std::fprintf(stderr, "profile: tracer produced no round profiles\n");
+    return 1;
+  }
+  for (const ProfileRow& r : rows) {
+    if (r.lanes != threads) {
+      std::fprintf(stderr,
+                   "profile: round %zu reports %zu lane busy slots, "
+                   "expected %u\n",
+                   r.round, r.lanes, threads);
+      return 1;
+    }
+  }
+  if (step_lane_spans < rows.size()) {
+    std::fprintf(stderr,
+                 "profile: only %llu step:lane spans recorded over %zu "
+                 "rounds\n",
+                 static_cast<unsigned long long>(step_lane_spans),
+                 rows.size());
+    return 1;
+  }
+  std::FILE* f = std::fopen(trace_path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "profile: trace artifact %s was not written\n",
+                 trace_path);
+    return 1;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long bytes = std::ftell(f);
+  std::fclose(f);
+  if (bytes <= 0) {
+    std::fprintf(stderr, "profile: trace artifact %s is empty\n", trace_path);
+    return 1;
+  }
+  return 0;
+}
+
 int run_delivery_bench(const bench::Env& env, unsigned threads) {
   const auto rows = run_delivery_sweep(env, threads);
   if (env.json) {
@@ -578,8 +762,9 @@ int main(int argc, char** argv) {
     return false;
   };
   const bool sweep_section = [&] {
-    for (const char* flag : {"--delivery", "--json", "--csv", "--quick",
-                             "--seed", "--threads", "--congest", "--capacity"})
+    for (const char* flag :
+         {"--delivery", "--json", "--csv", "--quick", "--seed", "--threads",
+          "--congest", "--capacity", "--profile"})
       if (has_flag(flag)) return true;
     return false;
   }();
@@ -591,16 +776,25 @@ int main(int argc, char** argv) {
     // of the delivery sweep (peak RSS is a process-monotone high-water
     // mark, so the capacity rows must be the only large runs in the
     // process); pass --delivery explicitly to get both, capacity first.
+    // --profile runs a traced flood instead of the delivery sweep (same
+    // instead-of rule: its report includes RSS readings) and drops the
+    // Chrome-trace artifact next to the report.
     const fl::util::Options opt(argc, argv);
     const std::int64_t threads = opt.get_int("threads", 8);
     FL_REQUIRE(threads >= 1 && threads <= 1024,
                "--threads must be in [1, 1024]");
     const auto env = fl::bench::Env::parse(argc, argv);
     const bool capacity = has_flag("--capacity");
+    const bool profile = has_flag("--profile");
     int rc = 0;
     if (capacity)
       rc = run_capacity_bench(env, static_cast<unsigned>(threads));
-    if (!capacity || has_flag("--delivery")) {
+    if (profile) {
+      const int profile_rc =
+          run_profile_bench(env, static_cast<unsigned>(threads));
+      if (rc == 0) rc = profile_rc;
+    }
+    if ((!capacity && !profile) || has_flag("--delivery")) {
       const int delivery_rc =
           run_delivery_bench(env, static_cast<unsigned>(threads));
       if (rc == 0) rc = delivery_rc;

@@ -3,10 +3,11 @@
 
 The per-PR bench trajectory: scripts/check.sh regenerates BENCH_e1..e10.json
 and BENCH_micro_perf.json on every run (and BENCH_capacity.json under
-FL_BENCH_CAPACITY=1 — rows keyed by n/family from bench_micro_perf
---capacity); this script compares each regenerated file against the version
-committed at HEAD (`git show HEAD:<file>`) and flags every numeric field
-that moved by more than --threshold (default 10%).
+FL_BENCH_CAPACITY=1, BENCH_profile.json under FL_BENCH_PROFILE=1 — the
+traced round-profile timeline from bench_micro_perf --profile); this script
+compares each regenerated file against the version committed at HEAD
+(`git show HEAD:<file>`) and flags every numeric field that moved by more
+than --threshold (default 10%).
 
 Most E-bench fields are *model* quantities (rounds, messages, spanner sizes)
 that are bit-deterministic given the seed, so any drift there is a real
@@ -38,7 +39,20 @@ REPO = Path(__file__).resolve().parent.parent
 # "rss" covers the capacity rows' peak_rss_mb / rss_ceiling_mb: resident-set
 # readings vary with allocator and kernel, so they advise rather than gate
 # (the boolean rss_within_ceiling verdict stays model-strict).
-TIMING_MARKERS = ("per_sec", "sec", "ms/", "time", "wall", "_over_", "rss")
+# "_ns" covers the round-profile timeline (quiesce_ns, step_ns, busy_*_ns):
+# nanosecond phase durations from the tracing layer are wall-clock by
+# definition (CONTRACTS.md C12 — timing is advisory, never model).
+TIMING_MARKERS = ("per_sec", "sec", "ms/", "time", "wall", "_over_", "rss",
+                  "_ns")
+
+# Records whose schema this script understands beyond "flat scalar rows":
+# every listed column must be present in each row, and every *other* numeric
+# column must carry a timing marker — a profile snapshot can only gain
+# model columns deliberately (extend this map), never by accident.
+REQUIRED_MODEL_COLUMNS = {
+    "round_profile": {"round", "messages", "words", "deferrals",
+                      "carry_depth", "lanes"},
+}
 
 
 def is_timing_field(name: str) -> bool:
@@ -219,6 +233,21 @@ def lint_schema(files) -> int:
                         f"{path.name} [{title}] row {j}: column set "
                         f"differs from row 0 "
                         f"({sorted(set(row) ^ columns)})")
+            model = REQUIRED_MODEL_COLUMNS.get(title)
+            if model is not None and columns is not None:
+                missing = sorted(model - columns)
+                if missing:
+                    problems.append(
+                        f"{path.name} [{title}]: model column(s) {missing} "
+                        f"missing from the rows")
+                unmarked = sorted(
+                    f for f in columns
+                    if f not in model and not is_timing_field(f))
+                if unmarked:
+                    problems.append(
+                        f"{path.name} [{title}]: column(s) {unmarked} are "
+                        f"neither declared model columns nor timing-marked "
+                        f"— extend REQUIRED_MODEL_COLUMNS or rename them")
     for line in problems:
         print(f"bench_diff --lint-schema: {line}")
     if not problems:

@@ -40,6 +40,17 @@ fi
 if [ -n "${FL_BENCH_CAPACITY:-}" ]; then
   "$BUILD_DIR"/bench/bench_micro_perf --capacity --quick --threads=1 --json | tee BENCH_capacity.json
 fi
+# FL_BENCH_PROFILE=1 runs the traced flood: tracing ON, per-round phase
+# timeline teed into BENCH_profile.json, and the Perfetto-loadable
+# TRACE_micro_perf.json (+ .jsonl profile dump) dropped at the repo root,
+# then lint-checked for well-formedness. Exits nonzero if the trace
+# artifact is missing per-lane step spans or busy data. The timings are
+# advisory (never diffed) — the committed BENCH_profile.json is a shape
+# record, refreshed only under this gate.
+if [ -n "${FL_BENCH_PROFILE:-}" ]; then
+  "$BUILD_DIR"/bench/bench_micro_perf --profile --quick --threads=2 --json | tee BENCH_profile.json
+  python3 scripts/trace_lint.py TRACE_micro_perf.json TRACE_micro_perf.json.jsonl
+fi
 
 # Trajectory snapshots: every experiment's --quick --json record lands in a
 # tracked BENCH_e<N>.json at the repo root, then bench_diff.py compares the

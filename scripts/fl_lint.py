@@ -10,7 +10,11 @@ linter, so this pass checks them directly over ``src/``:
                           protocol code — all randomness must flow through
                           the seeded per-node util::Xoshiro256 streams.
   FL002 wall-clock        time() / std::chrono / clock_gettime — round
-                          logic must never observe wall-clock time.
+                          logic must never observe wall-clock time. The one
+                          sanctioned reader is the observability layer:
+                          files under src/obs/ are exempt (obs::Clock is
+                          the single door the ban leaves open), and FL009
+                          polices the other side of that door.
   FL003 unordered-iter    range-for over a std::unordered_{map,set}
                           declared in the same file: hash-order iteration
                           feeding sends, metrics, or outputs is the classic
@@ -34,6 +38,15 @@ linter, so this pass checks them directly over ``src/``:
                           container), never a hand-rolled array — parallel
                           planes that drift apart break the zipped-view
                           contract and the sticky-capacity accounting.
+  FL009 obs-feedback      code under src/{sim,core,baseline,localsim}
+                          consumes an fl::obs timing value (obs::Clock,
+                          RoundProfile's *_ns fields, busy times, the
+                          imbalance ratio): observability is one-way by
+                          contract (CONTRACTS.md C12) — the engine opens
+                          spans and reports model counters, but a timing
+                          fed back into a scheduling or protocol decision
+                          would make wall-clock an input again, undoing
+                          everything FL002 protects.
 
 Violations that are understood and accepted live in the tracked allowlist
 (``scripts/fl_lint_allowlist.txt``); everything else fails the build.
@@ -53,6 +66,7 @@ import tempfile
 
 CHECK_IDS = (
     "FL001", "FL002", "FL003", "FL004", "FL005", "FL006", "FL007", "FL008",
+    "FL009",
 )
 
 
@@ -118,9 +132,18 @@ PATTERN_CHECKS = [
 ]
 
 
+# The sanctioned-clock carve-out: src/obs/ is the observability layer, the
+# one place allowed to read steady_clock (obs::Clock). FL009 below checks
+# the other direction — nothing outside obs may consume what it measures.
+OBS_DIR = re.compile(r"(?:^|/)src/obs/")
+
+
 def check_patterns(path: str, code: str) -> list:
+    in_obs = OBS_DIR.search(path.replace("\\", "/")) is not None
     findings = []
     for check, rx, msg in PATTERN_CHECKS:
+        if check == "FL002" and in_obs:
+            continue
         for m in rx.finditer(code):
             findings.append(Finding(path, line_of(code, m.start()), check, msg))
     return findings
@@ -229,6 +252,36 @@ def check_message_planes(path: str, code: str) -> list:
     return findings
 
 
+# --------------------------------------------------------------------- FL009
+
+# Decision-path code: the engine and every protocol layer. src/obs itself,
+# src/util (Timer is bench/example reporting) and src/graph are out of
+# scope — nothing there makes round-engine decisions.
+FL009_SCOPE = re.compile(r"(?:^|/)src/(?:sim|core|baseline|localsim)/")
+
+# What "consuming a timing" looks like at the token level: the sanctioned
+# clock itself, or any of the advisory wall-clock fields/accessors the
+# tracer exposes. Engine code legitimately *constructs* scopes and calls
+# end_round with model counters — none of those tokens appear here.
+FL009_TOKENS = re.compile(
+    r"\bobs::Clock\b|\bnow_ns\s*\(|"
+    r"\b(?:quiesce_ns|step_ns|merge_ns|admit_ns|end_ns|elapsed_ns|"
+    r"lane_busy_ns|busy_ns|max_over_avg_busy)\b")
+
+
+def check_obs_feedback(path: str, code: str) -> list:
+    if not FL009_SCOPE.search(path.replace("\\", "/")):
+        return []
+    findings = []
+    for m in FL009_TOKENS.finditer(code):
+        findings.append(Finding(
+            path, line_of(code, m.start()), "FL009",
+            "engine/protocol code consumes an obs timing value — "
+            "observability is one-way (CONTRACTS.md C12): wall-clock data "
+            "must never feed a scheduling or protocol decision"))
+    return findings
+
+
 # ----------------------------------------------------------------- allowlist
 
 def load_allowlist(path: str) -> list:
@@ -280,6 +333,7 @@ def lint_file(path: str, rel: str, allow: list) -> list:
     findings += check_unordered_iteration(rel, code)
     findings += check_send_sites(rel, code)
     findings += check_message_planes(rel, code)
+    findings += check_obs_feedback(rel, code)
     lines = text.split("\n")
     return [f for f in findings if not suppressed(f, lines, allow)]
 
@@ -314,64 +368,100 @@ def lint_tree(root: str, allowlist_path: str) -> int:
 
 # ------------------------------------------------------------------ selftest
 
+# Each fixture is (repo-relative path, body): path-scoped rules (the FL002
+# obs exemption, FL009's decision-path scope) are exercised with the same
+# paths the tree lint would report.
 FIXTURES = {
     # one fixture per violation class; each must trip exactly its check
-    "FL001": "int f() { return std::rand(); }\n",
-    "FL002": "#include <chrono>\ndouble f() { return"
-             " std::chrono::steady_clock::now().time_since_epoch().count();"
-             " }\n",
-    "FL003": "#include <unordered_map>\nvoid f(Ctx& ctx) {\n"
-             "  std::unordered_map<int, int> acc;\n"
-             "  for (const auto& [k, v] : acc) ctx.send(k, v, 1);\n}\n",
-    "FL004": "#include <map>\nstd::map<Node*, int> rank_;\n",
-    "FL005": "#include <functional>\nstd::size_t h(Node* p) {"
-             " return std::hash<Node*>{}(p); }\n",
-    "FL006": "void f(Ctx& ctx) { ctx.send(e, MsgPing{}, 0); }\n"
-             "static_assert(sim::Payload::stores_inline<MsgPing>);\n",
-    "FL007": "struct MsgPing { int x; };\n"
-             "void f(Ctx& ctx) { ctx.send(e, MsgPing{1}, 1); }\n",
-    "FL008": "#include <vector>\n"
-             "std::vector<sim::MessageHeader> headers_;\n"
-             "std::vector<fl::sim::Payload> payloads_;\n",
+    "FL001": ("src/fixture_fl001.cpp",
+              "int f() { return std::rand(); }\n"),
+    "FL002": ("src/fixture_fl002.cpp",
+              "#include <chrono>\ndouble f() { return"
+              " std::chrono::steady_clock::now().time_since_epoch().count();"
+              " }\n"),
+    "FL003": ("src/fixture_fl003.cpp",
+              "#include <unordered_map>\nvoid f(Ctx& ctx) {\n"
+              "  std::unordered_map<int, int> acc;\n"
+              "  for (const auto& [k, v] : acc) ctx.send(k, v, 1);\n}\n"),
+    "FL004": ("src/fixture_fl004.cpp",
+              "#include <map>\nstd::map<Node*, int> rank_;\n"),
+    "FL005": ("src/fixture_fl005.cpp",
+              "#include <functional>\nstd::size_t h(Node* p) {"
+              " return std::hash<Node*>{}(p); }\n"),
+    "FL006": ("src/fixture_fl006.cpp",
+              "void f(Ctx& ctx) { ctx.send(e, MsgPing{}, 0); }\n"
+              "static_assert(sim::Payload::stores_inline<MsgPing>);\n"),
+    "FL007": ("src/fixture_fl007.cpp",
+              "struct MsgPing { int x; };\n"
+              "void f(Ctx& ctx) { ctx.send(e, MsgPing{1}, 1); }\n"),
+    "FL008": ("src/fixture_fl008.cpp",
+              "#include <vector>\n"
+              "std::vector<sim::MessageHeader> headers_;\n"
+              "std::vector<fl::sim::Payload> payloads_;\n"),
+    # A scheduling decision fed by a RoundProfile timing — exactly the
+    # adaptive-sharding shortcut C12 forbids until it is designed for.
+    "FL009": ("src/sim/fixture_fl009.cpp",
+              "#include \"obs/trace.hpp\"\n"
+              "void rebalance(const obs::RoundProfile& p, Plan& plan) {\n"
+              "  if (p.step_ns > plan.budget_ns) plan.shrink_hot_shard();\n"
+              "}\n"),
 }
 
-CLEAN_FIXTURE = (
-    "// a compliant protocol file\n"
-    "struct MsgPing { int x; };\n"
-    "static_assert(sim::Payload::stores_inline<MsgPing> &&\n"
-    "              sim::Payload::trivially_relocatable<MsgPing>);\n"
-    "void f(Ctx& ctx) {\n"
-    "  for (const EdgeId e : ctx.incident_edges())\n"
-    "    ctx.send(e, MsgPing{1}, 1);  // std::rand() in a comment is fine\n"
-    "}\n"
-)
+# Files that must produce no findings: a compliant protocol, the obs layer
+# reading the clock it is sanctioned to read (FL002's carve-out), and
+# engine code that *constructs* trace scopes without consuming timings
+# (the write-only side FL009 must not flag).
+CLEAN_FIXTURES = [
+    ("src/fixture_clean.cpp",
+     "// a compliant protocol file\n"
+     "struct MsgPing { int x; };\n"
+     "static_assert(sim::Payload::stores_inline<MsgPing> &&\n"
+     "              sim::Payload::trivially_relocatable<MsgPing>);\n"
+     "void f(Ctx& ctx) {\n"
+     "  for (const EdgeId e : ctx.incident_edges())\n"
+     "    ctx.send(e, MsgPing{1}, 1);  // std::rand() in a comment is fine\n"
+     "}\n"),
+    ("src/obs/fixture_clean_obs.cpp",
+     "#include <chrono>\n"
+     "std::uint64_t sanctioned_now() {\n"
+     "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+     "}\n"),
+    ("src/sim/fixture_clean_sim.cpp",
+     "#include \"obs/trace.hpp\"\n"
+     "void phase(obs::Tracer* trace, unsigned s, std::size_t round) {\n"
+     "  const obs::SpanScope span(trace, obs::SpanKind::StepLane, s, round);\n"
+     "}\n"),
+]
 
 
 def self_test() -> int:
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
-        os.mkdir(os.path.join(tmp, "src"))
-        for check, body in FIXTURES.items():
-            path = os.path.join(tmp, "src", f"fixture_{check.lower()}.cpp")
+        def write_fixture(rel, body):
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
             with open(path, "w", encoding="utf-8") as f:
                 f.write(body)
-            got = lint_file(path, path, allow=[])
+            return path
+
+        for check, (rel, body) in FIXTURES.items():
+            path = write_fixture(rel, body)
+            got = lint_file(path, rel, allow=[])
             if not any(f.check == check for f in got):
                 failures.append(f"{check}: fixture did not trip its check "
                                 f"(got: {[str(f) for f in got]})")
             os.remove(path)
-        clean = os.path.join(tmp, "src", "fixture_clean.cpp")
-        with open(clean, "w", encoding="utf-8") as f:
-            f.write(CLEAN_FIXTURE)
-        got = lint_file(clean, clean, allow=[])
-        if got:
-            failures.append(
-                f"clean fixture tripped: {[str(f) for f in got]}")
+        for rel, body in CLEAN_FIXTURES:
+            path = write_fixture(rel, body)
+            got = lint_file(path, rel, allow=[])
+            if got:
+                failures.append(
+                    f"clean fixture {rel} tripped: {[str(f) for f in got]}")
+            os.remove(path)
         # The allowlist mechanism itself: a suppressed finding must vanish.
-        fl1 = os.path.join(tmp, "src", "allowed.cpp")
-        with open(fl1, "w", encoding="utf-8") as f:
-            f.write(FIXTURES["FL001"])
-        got = lint_file(fl1, fl1, allow=[("FL001", "allowed.cpp", None)])
+        rel = "src/allowed.cpp"
+        path = write_fixture(rel, FIXTURES["FL001"][1])
+        got = lint_file(path, rel, allow=[("FL001", "allowed.cpp", None)])
         if got:
             failures.append(f"allowlist did not suppress: "
                             f"{[str(f) for f in got]}")
@@ -379,7 +469,8 @@ def self_test() -> int:
         print(f"fl_lint self-test FAILED: {msg}", file=sys.stderr)
     if not failures:
         print(f"fl_lint self-test OK: {len(FIXTURES)} violation classes "
-              "fire, clean fixture passes, allowlist suppresses")
+              f"fire, {len(CLEAN_FIXTURES)} clean fixtures pass, allowlist "
+              "suppresses")
     return 1 if failures else 0
 
 

@@ -887,7 +887,11 @@ DistributedSpannerRun run_distributed_sampler(const graph::Graph& g,
   // when the timetable ends; run_until_drained grows the cap until the
   // backlog clears (a no-op in LOCAL mode).
   const std::size_t cap = schedule->total_rounds + 4;
-  run.stats = net.run_until_drained(cap, /*hard_cap=*/cap * 64 + 4096);
+  {
+    // Named protocol span on the engine track (no-op when tracing is off).
+    const obs::ProtocolScope span(net.tracer(), "distributed_sampler");
+    run.stats = net.run_until_drained(cap, /*hard_cap=*/cap * 64 + 4096);
+  }
   FL_REQUIRE(run.stats.terminated,
              "distributed sampler did not terminate within its schedule");
   run.metrics = net.metrics();

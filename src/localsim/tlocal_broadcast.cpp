@@ -185,7 +185,12 @@ BroadcastRun run_tlocal_broadcast(const Graph& g,
 
   BroadcastRun run;
   const std::size_t cap = static_cast<std::size_t>(rounds) + 4;
-  run.stats = net.run_until_drained(cap, /*hard_cap=*/cap * 4096);
+  {
+    // Named protocol span on the engine track (no-op when tracing is off)
+    // so a trace of a composed run shows which protocol owns which rounds.
+    const obs::ProtocolScope span(net.tracer(), "tlocal_broadcast");
+    run.stats = net.run_until_drained(cap, /*hard_cap=*/cap * 4096);
+  }
   FL_REQUIRE(run.stats.terminated, "broadcast did not terminate");
   run.metrics = net.metrics();
   run.reached.reserve(g.num_nodes());

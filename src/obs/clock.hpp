@@ -1,0 +1,31 @@
+// The sanctioned monotonic clock — the only place in the library allowed
+// to read wall-clock time.
+//
+// Contract C2 bans wall-clock reads from round logic because a timestamp
+// is nondeterministic input: any decision fed by one diverges across
+// runs, thread counts, and machines. Observability still needs real time
+// — that is its whole point — so the ban gets exactly one sanctioned
+// door: `fl::obs` reads `steady_clock` here, and everything it derives
+// (span durations, RoundProfile timings, imbalance ratios) is *advisory
+// output only*. fl_lint enforces both sides: FL002 keeps <chrono> out of
+// the rest of src/, and FL009 fires if engine or protocol code under
+// src/{sim,core,baseline,localsim} consumes an obs timing value back
+// into a decision path (docs/CONTRACTS.md C12).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fl::obs {
+
+struct Clock {
+  /// Monotonic nanoseconds since an arbitrary epoch (process-stable).
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace fl::obs

@@ -27,6 +27,12 @@ struct Metrics {
   std::uint64_t messages_total = 0;
   std::uint64_t words_total = 0;
   std::uint64_t deferrals_total = 0;  ///< congest-mode message-round delays
+  /// Largest total carry-queue occupancy (messages parked across every
+  /// per-edge FIFO) seen after any admission pass — how deep the budget
+  /// backlog ever got. 0 in LOCAL mode and whenever the budget never
+  /// binds; a model field (bit-identical across thread counts), surfaced
+  /// in the bench JSON next to deferrals.
+  std::uint64_t carry_peak = 0;
   /// Largest single self-reported message size seen so far — the smallest
   /// per-edge budget under which no message is individually oversized
   /// (CongestPolicy::Strict's floor, and the scale for schedule slack).

@@ -65,6 +65,10 @@ Network::Network(const graph::Graph& graph, Knowledge knowledge,
     : graph_(&graph), knowledge_(knowledge), streams_(seed),
       par_(default_parallel_config()), congest_(default_congest_config()) {
   if (default_check_enabled()) check_ = std::make_unique<OwnershipChecker>();
+  {
+    obs::TraceConfig tcfg = obs::default_trace_config();
+    if (tcfg.enabled) trace_ = std::make_unique<obs::Tracer>(std::move(tcfg));
+  }
   const NodeId n = graph.num_nodes();
   FL_REQUIRE(n >= 1, "network needs at least one node");
   log_n_bound_ = std::log2(std::max<double>(2.0, n));
@@ -87,6 +91,28 @@ Network::Network(const graph::Graph& graph, Knowledge knowledge,
     node_rngs_.push_back(streams_.node_stream(v));
   }
   metrics_.messages_per_node.assign(n, 0);
+}
+
+Network::~Network() {
+  if (trace_ == nullptr) return;
+  // The per-node send totals only stop moving when the runs do; fold them
+  // into the sends histogram at teardown, then write the artifacts.
+  // finalize() never throws (a destructor must not), and with an empty
+  // path it only marks the tracer closed.
+  if (started_) {
+    for (const auto sends : metrics_.messages_per_node)
+      trace_->node_sends_hist().add(sends);
+  }
+  trace_->finalize();
+}
+
+void Network::set_trace(obs::TraceConfig cfg) {
+  FL_REQUIRE(!started_, "cannot change tracing after the run started");
+  if (cfg.enabled) {
+    trace_ = std::make_unique<obs::Tracer>(std::move(cfg));
+  } else {
+    trace_.reset();
+  }
 }
 
 void Network::set_log_n_bound(double bound) {
@@ -313,6 +339,7 @@ void Network::begin_if_needed() {
   if (lanes_.size() > 1) pool_ = std::make_unique<ExecPool>(
       static_cast<unsigned>(lanes_.size()));
   if (check_) check_->bind_shards(shards_, n);
+  if (trace_) trace_->bind_lanes(lanes_.size());
   if (congest_.enforced()) {
     // Budget state is per *directed* edge (index 2e + direction); carry
     // queues and admitted buffers are per destination shard. None of it
@@ -336,11 +363,18 @@ void Network::phase_step(bool starting) {
   // the only place done-state can change — keeping the quiesce phase free
   // of any per-node work.
   if (check_) check_->set_round(round_);
+  // Phase span on the engine track; per-lane busy spans on the lane
+  // tracks. Both are one null-check when tracing is off, and the lane
+  // span's duration is what RoundProfile::lane_busy_ns accumulates — the
+  // imbalance signal the adaptive-sharding ROADMAP item wants.
+  const obs::SpanScope phase_span(trace_.get(), obs::SpanKind::StepPhase, 0,
+                                  round_);
   auto step_shard = [&](unsigned s) {
     // With checking on, this scope is what every instrumented touch is
     // verified against: lane s, step phase. Opened on the sequential path
     // too, so the checks fire identically at every thread count.
     LaneScope scope(check_.get(), s, EnginePhase::Step);
+    const obs::SpanScope span(trace_.get(), obs::SpanKind::StepLane, s, round_);
     const ShardRange range = shards_[s];
     SendLane& lane = lanes_[s];
     for (NodeId v = range.begin; v < range.end; ++v) {
@@ -368,15 +402,37 @@ void Network::phase_merge() {
   // Phase 2 — merge lanes: this round's sends become next round's inboxes.
   std::uint64_t count = 0;
   for (const auto& lane : lanes_) count += lane.outbox.size();
-  merge_lanes(count);
+  {
+    const obs::SpanScope span(trace_.get(), obs::SpanKind::MergePhase, 0,
+                              round_);
+    merge_lanes(count);
+  }
   // Phase 2b — congest admission: the merged arena is the canonical
   // (thread-count-invariant) candidate order, so metering it — rather
   // than the per-lane outboxes — keeps budgeted delivery bit-identical
   // across lane counts for free. `count` becomes what was *delivered*.
-  if (congest_.enforced()) count = congest_admit();
+  if (congest_.enforced()) {
+    const obs::SpanScope span(trace_.get(), obs::SpanKind::AdmitPhase, 0,
+                              round_);
+    count = congest_admit();
+  }
   metrics_.messages_total += count;
   metrics_.messages_per_round.push_back(count);
   delivered_last_round_ = count;
+  if (trace_) {
+    // Delivered-message word sizes: an O(delivered) scan of the 16-byte
+    // header plane, paid only with tracing on. Post-admission, so under a
+    // budget a deferred message is counted once, in the round its words
+    // actually crossed.
+    for (std::size_t i = 0; i < arena_.size(); ++i)
+      trace_->message_words_hist().add(arena_.header(i).size_hint_words);
+    // Close the round's profile. The engine hands over model counters and
+    // never reads anything back (C12) — deltas and imbalance are computed
+    // on the tracer's side of the fence.
+    trace_->end_round(round_, count, metrics_.words_total,
+                      metrics_.deferrals_total, carry_total_,
+                      debug_plane_allocations());
+  }
   ++round_;
   metrics_.rounds = round_;
 }
@@ -465,6 +521,8 @@ void Network::merge_lanes(std::uint64_t total) {
   arena_.resize(static_cast<std::size_t>(total));
   auto scatter = [&](unsigned s) {
     LaneScope scope(check_.get(), s, EnginePhase::Merge);
+    const obs::SpanScope span(trace_.get(), obs::SpanKind::MergeLane, s,
+                              round_);
     // The scatter writes arena slots for *foreign* destinations — that is
     // the merge contract (cursor ranges are disjoint per lane) — but it
     // may only drain its own outbox and cursors. Headers relocate with a
@@ -516,6 +574,8 @@ std::uint64_t Network::congest_admit() {
   const std::uint64_t stamp = round_ + 1;  // this round; never the 0 init
   auto decide = [&](unsigned c) {
     LaneScope scope(check_.get(), c, EnginePhase::Admit);
+    const obs::SpanScope span(trace_.get(), obs::SpanKind::AdmitLane, c,
+                              round_);
     const ShardRange range = shards_[c];
     CongestChunk& chunk = congest_chunks_[c];
     if (check_) check_->touch_carry(c, "carry queue");
@@ -592,6 +652,31 @@ std::uint64_t Network::congest_admit() {
     chunk_weight_[c] = admitted_total;  // becomes the chunk's arena base
     admitted_total += w;
   }
+  if (carry_total_ > metrics_.carry_peak) metrics_.carry_peak = carry_total_;
+  if (trace_ && carry_total_ > 0) {
+    // Per-directed-edge carry occupancy: within a chunk's carry the same
+    // directed edge's messages need not be contiguous (arrival order
+    // interleaves edges sharing a destination), so count runs over the
+    // sorted key list. Adds are order-independent, the sort makes the
+    // walk deterministic anyway, and the O(c log c) cost exists only with
+    // tracing on.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(static_cast<std::size_t>(carry_total_));
+    for (const auto& chunk : congest_chunks_) {
+      for (std::size_t i = 0; i < chunk.carry.size(); ++i) {
+        const MessageHeader& h = chunk.carry.header(i);
+        keys.push_back(2 * static_cast<std::uint64_t>(h.edge) +
+                       (h.to > h.from ? 1 : 0));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < keys.size();) {
+      std::size_t j = i;
+      while (j < keys.size() && keys[j] == keys[i]) ++j;
+      trace_->edge_carry_hist().add(j - i);
+      i = j;
+    }
+  }
   FL_REQUIRE(admitted_total < std::numeric_limits<std::uint32_t>::max(),
              "admitted message count overflows the 32-bit arena offsets "
              "(>= 2^32 - 1 messages admitted in one round); split the round "
@@ -599,6 +684,8 @@ std::uint64_t Network::congest_admit() {
   arena_next_.resize(static_cast<std::size_t>(admitted_total));
   auto relocate = [&](unsigned c) {
     LaneScope scope(check_.get(), c, EnginePhase::Admit);
+    const obs::SpanScope span(trace_.get(), obs::SpanKind::AdmitLane, c,
+                              round_);
     const ShardRange range = shards_[c];
     CongestChunk& chunk = congest_chunks_[c];
     auto base = static_cast<std::uint32_t>(chunk_weight_[c]);
@@ -644,7 +731,13 @@ RunStats Network::run(std::size_t max_rounds) {
   RunStats stats;
   // The round pipeline: quiesce check -> step shards -> merge lanes.
   while (round_ <= max_rounds) {
-    if (quiescent()) {
+    bool quiet;
+    {
+      const obs::SpanScope span(trace_.get(), obs::SpanKind::Quiesce, 0,
+                                round_);
+      quiet = quiescent();
+    }
+    if (quiet) {
       stats.terminated = true;
       break;
     }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 #include "sim/check.hpp"
 #include "sim/congest.hpp"
 #include "sim/exec.hpp"
@@ -52,6 +53,10 @@ class Network {
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// Out of line: finalizes the trace artifact when tracing is on (a
+  /// no-op — not even a branch worth naming — otherwise).
+  ~Network();
 
   /// Install one program per node from a factory.
   void install(
@@ -122,6 +127,29 @@ class Network {
   /// bit-identical with checking on or off.
   void set_check(bool enabled);
   bool check_enabled() const { return check_ != nullptr; }
+
+  /// Tracing / profiling (obs/trace.hpp; defaults to the FL_SIM_TRACE env
+  /// probe, else off); only legal before the first round. Observational
+  /// by contract (docs/CONTRACTS.md C12): golden traces, Metrics and
+  /// RunStats are bit-identical with tracing on or off at any thread
+  /// count — timing flows out of the engine, never back in. With tracing
+  /// off every instrumented site is one `if (trace_)` branch, exactly the
+  /// FL_SIM_CHECK cost model.
+  void set_trace(obs::TraceConfig cfg);
+  bool trace_enabled() const { return trace_ != nullptr; }
+
+  /// The live tracer (null when tracing is off). Protocol runners open
+  /// named obs::ProtocolScope spans through it.
+  obs::Tracer* tracer() { return trace_.get(); }
+  const obs::Tracer* tracer() const { return trace_.get(); }
+
+  /// One RoundProfile per completed round (empty when tracing is off).
+  /// Model fields are bit-identical across thread counts; `_ns` fields
+  /// and the imbalance ratio are advisory wall-clock data.
+  std::span<const obs::RoundProfile> profile() const {
+    if (trace_ == nullptr) return {};
+    return {trace_->profiles().data(), trace_->profiles().size()};
+  }
 
   /// Test-only: a probe invoked from inside every shard's step scope, after
   /// the shard's nodes were stepped, so tests can seed contract-violating
@@ -293,6 +321,13 @@ class Network {
   // `if (check_)` branch, so the hot path is untouched with checking off.
   std::unique_ptr<OwnershipChecker> check_;
   std::function<void(Network&, unsigned)> check_probe_;  // test-only
+
+  // Tracer (obs/trace.hpp). Null unless FL_SIM_TRACE (or set_trace) opted
+  // in — the same null-pointer cost model as check_: one predictable
+  // branch per instrumented site when tracing is off. Strictly
+  // write-only from the engine's perspective (C12): the engine opens
+  // scopes and reports model counters; it never reads a timing back.
+  std::unique_ptr<obs::Tracer> trace_;
 
   // Messages moved into the arena by the last merge — the O(1) half of
   // the quiesce check.

@@ -1,0 +1,111 @@
+// Log-bucketed histogram for the observability layer (obs/trace.hpp).
+//
+// Fixed power-of-two buckets: bucket 0 holds exactly the value 0, bucket
+// b >= 1 holds [2^(b-1), 2^b - 1]. The geometry is value-independent —
+// no rebalancing, no quantile sketch state — so adding a sample is a
+// bit_width plus one increment, merging two histograms is elementwise
+// addition, and the result is bit-identical regardless of insertion
+// order. That order-independence is what lets the engine fill histograms
+// from whatever iteration is cheapest without creating a new determinism
+// surface.
+//
+// Deliberately timing-free: this header must stay usable from anywhere in
+// src/ without tripping the wall-clock lint (FL002) — it counts values,
+// it never reads clocks.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace fl::util {
+
+class LogHistogram {
+ public:
+  /// Bucket 0 = {0}; bucket 64 = [2^63, 2^64 - 1].
+  static constexpr std::size_t kBuckets = 65;
+
+  static constexpr std::size_t bucket_of(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  /// Smallest value the bucket admits.
+  static constexpr std::uint64_t bucket_lo(std::size_t bucket) {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+
+  /// Largest value the bucket admits.
+  static constexpr std::uint64_t bucket_hi(std::size_t bucket) {
+    if (bucket == 0) return 0;
+    if (bucket == kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << bucket) - 1;
+  }
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) {
+    counts_[bucket_of(value)] += weight;
+    count_ += weight;
+    sum_ += value * weight;
+    if (count_ == weight || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  void merge(const LogHistogram& other) {
+    if (other.count_ == 0) return;
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t bucket_count(std::size_t bucket) const {
+    FL_REQUIRE(bucket < kBuckets, "histogram bucket out of range");
+    return counts_[bucket];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+
+  double mean() const {
+    if (count_ == 0) return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile sample (by rank).
+  /// Bucket-resolution only — good enough for "p99 is in [2^k, 2^{k+1})",
+  /// which is all a log histogram can honestly claim.
+  std::uint64_t quantile_bound(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // rank in [1, count_]: the ceiling keeps q=1.0 on the max bucket and
+    // q=0.0 on the min bucket without floating-point edge surprises.
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= rank) return bucket_hi(b);
+    }
+    return bucket_hi(kBuckets - 1);
+  }
+
+  /// Index one past the last non-empty bucket (0 when empty) — exporters
+  /// iterate [0, used_buckets()) and skip empties.
+  std::size_t used_buckets() const {
+    if (count_ == 0) return 0;
+    return bucket_of(max_) + 1;
+  }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace fl::util

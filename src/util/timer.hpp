@@ -1,25 +1,30 @@
 // Wall-clock timer for coarse phase timing in examples and benches.
+//
+// Delegates to obs::Clock — the one sanctioned steady_clock reader
+// (docs/CONTRACTS.md C2/C12) — so this header needs no allowlist entry
+// and the wall-clock lint has exactly one door to guard.
 #pragma once
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.hpp"
 
 namespace fl::util {
 
 class Timer {
  public:
-  Timer() : start_(clock::now()) {}
+  Timer() : start_ns_(obs::Clock::now_ns()) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ns_ = obs::Clock::now_ns(); }
 
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(obs::Clock::now_ns() - start_ns_) * 1e-9;
   }
 
   double millis() const { return seconds() * 1e3; }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace fl::util
