@@ -47,6 +47,16 @@ linter, so this pass checks them directly over ``src/``:
                           fed back into a scheduling or protocol decision
                           would make wall-clock an input again, undoing
                           everything FL002 protects.
+  FL010 schedule-length   code under src/ outside core/distributed_sampler.*
+                          consumes Schedule::total_rounds. Under
+                          event-driven phase barriers (CONTRACTS.md C13) the
+                          slack-stretched timetable length is a provisioning
+                          *model* — the run advances on the network-silence
+                          fact and may finish in far fewer (or, mid-phase,
+                          more) rounds — so sizing a loop, cap, or buffer
+                          from total_rounds outside the sampler driver
+                          silently re-couples callers to the retired fixed
+                          schedule.
 
 Violations that are understood and accepted live in the tracked allowlist
 (``scripts/fl_lint_allowlist.txt``); everything else fails the build.
@@ -66,7 +76,7 @@ import tempfile
 
 CHECK_IDS = (
     "FL001", "FL002", "FL003", "FL004", "FL005", "FL006", "FL007", "FL008",
-    "FL009",
+    "FL009", "FL010",
 )
 
 
@@ -282,6 +292,29 @@ def check_obs_feedback(path: str, code: str) -> list:
     return findings
 
 
+# --------------------------------------------------------------------- FL010
+
+# The sampler driver and its Schedule definition are the one legal consumer:
+# the driver derives the *fixed-mode* stall cap and the provisioned-rounds
+# baseline for barrier_rounds_saved from the timetable length.
+FL010_EXEMPT = re.compile(r"(?:^|/)src/core/distributed_sampler\.[a-z]+$")
+FL010_TOKEN = re.compile(r"\btotal_rounds\b")
+
+
+def check_schedule_length(path: str, code: str) -> list:
+    if FL010_EXEMPT.search(path.replace("\\", "/")):
+        return []
+    findings = []
+    for m in FL010_TOKEN.finditer(code):
+        findings.append(Finding(
+            path, line_of(code, m.start()), "FL010",
+            "Schedule::total_rounds consumed outside the sampler driver — "
+            "the timetable length is a provisioning model under "
+            "event-driven barriers (CONTRACTS.md C13), not a run-length "
+            "promise"))
+    return findings
+
+
 # ----------------------------------------------------------------- allowlist
 
 def load_allowlist(path: str) -> list:
@@ -334,6 +367,7 @@ def lint_file(path: str, rel: str, allow: list) -> list:
     findings += check_send_sites(rel, code)
     findings += check_message_planes(rel, code)
     findings += check_obs_feedback(rel, code)
+    findings += check_schedule_length(rel, code)
     lines = text.split("\n")
     return [f for f in findings if not suppressed(f, lines, allow)]
 
@@ -405,6 +439,13 @@ FIXTURES = {
               "void rebalance(const obs::RoundProfile& p, Plan& plan) {\n"
               "  if (p.step_ns > plan.budget_ns) plan.shrink_hot_shard();\n"
               "}\n"),
+    # A run cap derived from the timetable length outside the sampler
+    # driver — exactly the fixed-schedule coupling C13 retires.
+    "FL010": ("src/sim/fixture_fl010.cpp",
+              "#include \"core/distributed_sampler.hpp\"\n"
+              "std::size_t cap(const core::Schedule& s) {\n"
+              "  return s.total_rounds * 64 + 4096;\n"
+              "}\n"),
 }
 
 # Files that must produce no findings: a compliant protocol, the obs layer
@@ -430,6 +471,12 @@ CLEAN_FIXTURES = [
      "#include \"obs/trace.hpp\"\n"
      "void phase(obs::Tracer* trace, unsigned s, std::size_t round) {\n"
      "  const obs::SpanScope span(trace, obs::SpanKind::StepLane, s, round);\n"
+     "}\n"),
+    # FL010's carve-out: the sampler driver is the one legal consumer of
+    # the timetable length (fixed-mode stall cap, provisioned baseline).
+    ("src/core/distributed_sampler.cpp",
+     "std::size_t fixed_cap(const Schedule& s) {\n"
+     "  return s.total_rounds + 4;\n"
      "}\n"),
 ]
 

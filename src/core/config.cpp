@@ -111,12 +111,14 @@ std::string SamplerConfig::describe() const {
                   congest->policy == sim::CongestPolicy::Strict ? "strict"
                                                                 : "defer");
   }
+  const char* barrier_names[] = {"auto", "fixed", "event"};
   std::snprintf(buf, sizeof(buf),
                 "Sampler(k=%u h=%u c=%.2f delta=%.4f eps=%.4f stretch<=%.0f "
-                "log_exp=[%.1f,%.1f]%s%s%s slack=%u)",
+                "log_exp=[%.1f,%.1f]%s%s%s barriers=%s slack=%u)",
                 k, h, c, delta(), epsilon(), stretch_bound(), log_exp_budget,
                 log_exp_trial, force_light_completion ? " +force_light" : "",
                 peel_parallel_edges ? "" : " -peeling", congest_buf,
+                barrier_names[static_cast<unsigned>(barriers)],
                 schedule_slack);
   return buf;
 }

@@ -148,12 +148,17 @@ struct RootLevelRecord {
 
 class SamplerNode final : public sim::NodeProgram {
  public:
+  /// `adaptive` selects the resolved barrier mode (the driver folds
+  /// BarrierMode::Auto against the network's effective CONGEST config):
+  /// false = the fixed PhaseSpec::start/length timetable, true =
+  /// event-driven barriers (advance on Context::network_silent()).
   SamplerNode(NodeId self, std::shared_ptr<const Schedule> schedule,
-              const SamplerConfig& cfg, double n0)
+              const SamplerConfig& cfg, double n0, bool adaptive)
       : self_(self),
         schedule_(std::move(schedule)),
         cfg_(cfg),
         n0_(n0),
+        adaptive_(adaptive),
         streams_(cfg.seed) {}
 
   // -- extraction hooks used by the driver after the run ----------------
@@ -198,7 +203,34 @@ class SamplerNode final : public sim::NodeProgram {
   void on_round(sim::Context& ctx, sim::InboxView inbox) override {
     // Step 1: react to messages.
     for (const auto& msg : inbox) handle(ctx, msg);
-    // Step 2: execute phase-start actions due this logical round.
+    // Step 2: execute phase-start actions that are due.
+    if (adaptive_) {
+      // Event-driven barrier: a phase ends on the first *silent* round —
+      // nothing delivered, nothing parked in a carry queue. Every send in
+      // this protocol is either a phase-start action or an immediate
+      // reaction to a delivery, so a phase's traffic is a chain of
+      // consecutive delivery rounds and silence proves the chain (and
+      // every earlier phase's) has fully drained. The predicate is a
+      // merge-barrier fact, identical at every node, so all nodes consume
+      // the same phase in the same round — the timetable's lockstep
+      // without its provisioned windows.
+      if (ctx.network_silent() && phase_idx_ < schedule_->phases.size()) {
+        start_phase(ctx, schedule_->phases[phase_idx_]);
+        ++phase_idx_;
+        // Reactive-only phases send nothing at start — their work happens
+        // in handle() while the *previous* phase's traffic is in flight —
+        // so waiting a silent round for each would buy nothing. Consume
+        // them together with the phase whose traffic they answer.
+        while (phase_idx_ < schedule_->phases.size() &&
+               reactive_only(schedule_->phases[phase_idx_].kind)) {
+          start_phase(ctx, schedule_->phases[phase_idx_]);
+          ++phase_idx_;
+        }
+      }
+      ++logical_round_;
+      return;
+    }
+    // Fixed timetable: phases start at their provisioned rounds.
     while (phase_idx_ < schedule_->phases.size() &&
            schedule_->phases[phase_idx_].start == logical_round_) {
       start_phase(ctx, schedule_->phases[phase_idx_]);
@@ -312,6 +344,19 @@ class SamplerNode final : public sim::NodeProgram {
     // Root: process this trial's discoveries. F_v growth is capped at the
     // budget (see sampler.cpp run_trial: Lemma 10's accounting requires it);
     // blocks skipped by the cap stay unqueried and unpeeled.
+    //
+    // Canonical order first: the echo concatenates subtree reports in
+    // arrival order, which a bandwidth budget regroups across rounds. The
+    // first-seen-cluster F_v selection below (and its cap) must be a
+    // function of the report *set*, not of the delivery schedule, or a
+    // budgeted run would build a different spanner than the LOCAL run.
+    // (cluster, via) is unique per entry — one query per boundary edge per
+    // trial — so the sort is a total order and fully deterministic.
+    std::sort(collect_acc_->begin(), collect_acc_->end(),
+              [](const Found& a, const Found& b) {
+                return a.cluster != b.cluster ? a.cluster < b.cluster
+                                              : a.via < b.via;
+              });
     const std::size_t budget = cfg_.budget(n0_, level_);
     auto apply = std::make_shared<std::vector<Found>>();
     for (const Found& f : *collect_acc_) {
@@ -363,6 +408,16 @@ class SamplerNode final : public sim::NodeProgram {
   }
 
   // ------------------------------------------------------ phase starts
+  /// Phases whose start is a no-op: all their work happens reactively in
+  /// handle() while the preceding phase's traffic is in flight, so an
+  /// event-driven barrier consumes them with that phase instead of
+  /// spending a silent round on each.
+  static bool reactive_only(PhaseSpec::Kind kind) {
+    using K = PhaseSpec::Kind;
+    return kind == K::QueryRespond || kind == K::CenterRespond ||
+           kind == K::TrialGatherEcho;
+  }
+
   void start_phase(sim::Context& ctx, const PhaseSpec& spec) {
     using K = PhaseSpec::Kind;
     switch (spec.kind) {
@@ -763,6 +818,7 @@ class SamplerNode final : public sim::NodeProgram {
   std::shared_ptr<const Schedule> schedule_;
   SamplerConfig cfg_;
   double n0_;
+  bool adaptive_ = false;  ///< event-driven barriers vs fixed timetable
   util::StreamFactory streams_;
 
   std::size_t logical_round_ = 0;
@@ -835,6 +891,7 @@ Schedule Schedule::build(const SamplerConfig& cfg) {
   const std::size_t slack = cfg.schedule_slack;
   auto push = [&](PhaseSpec::Kind kind, unsigned level, int trial,
                   std::size_t len) {
+    sched.base_rounds += len;
     len *= slack;
     sched.phases.push_back(PhaseSpec{kind, level, trial, round, len});
     round += len;
@@ -876,25 +933,51 @@ DistributedSpannerRun run_distributed_sampler(const graph::Graph& g,
 
   sim::Network net(g, sim::Knowledge::EdgeIds, cfg.seed);
   if (cfg.congest.has_value()) net.set_congest(*cfg.congest);
+  // Resolve BarrierMode::Auto against the network's *effective* CONGEST
+  // config — cfg.congest when set, else the FL_SIM_CONGEST env probe — so
+  // the sampler is correct at any budget the environment imposes while
+  // plain LOCAL runs keep the paper's timetable (and their golden round
+  // counts) byte-stable.
+  const bool adaptive =
+      cfg.barriers == BarrierMode::EventDriven ||
+      (cfg.barriers == BarrierMode::Auto && net.congest().enforced());
   net.install([&](NodeId v) {
-    return std::make_unique<SamplerNode>(v, schedule, cfg, n0);
+    return std::make_unique<SamplerNode>(v, schedule, cfg, n0, adaptive);
   });
 
   DistributedSpannerRun run;
   run.stretch_bound = cfg.stretch_bound();
-  // Under a Defer budget the tail of the schedule (death announcements,
-  // straggling echo words) may still be draining through the carry queues
-  // when the timetable ends; run_until_drained grows the cap until the
-  // backlog clears (a no-op in LOCAL mode).
-  const std::size_t cap = schedule->total_rounds + 4;
+  // Principled stall caps for the event-driven drain (run_until_drained
+  // leaves delivery rounds uncapped and meters only *silent* rounds):
+  //   * adaptive — every silent round consumes at least one phase, so the
+  //     run stalls at most once per phase;
+  //   * fixed timetable — logical rounds advance one per round and every
+  //     silent round is a timetable round, so the slack-stretched length
+  //     bounds them.
+  // The +4 covers run start/finish framing (the on_start round, the final
+  // quiesce probe).
+  const std::size_t stall_cap = adaptive ? schedule->phases.size() + 4
+                                         : schedule->total_rounds + 4;
   {
     // Named protocol span on the engine track (no-op when tracing is off).
     const obs::ProtocolScope span(net.tracer(), "distributed_sampler");
-    run.stats = net.run_until_drained(cap, /*hard_cap=*/cap * 64 + 4096);
+    run.stats = net.run_until_drained(stall_cap);
   }
   FL_REQUIRE(run.stats.terminated,
              "distributed sampler did not terminate within its schedule");
   run.metrics = net.metrics();
+  if (adaptive && net.congest().enforced()) {
+    // Model field: rounds the event-driven barrier saved against the fixed
+    // timetable a slack-provisioned run would have booked. The slack is
+    // derived the way the old E6d table derived it — the worst-case
+    // per-hop deferral of the largest message, plus one framing round.
+    const std::uint64_t budget = net.congest().words_per_edge_per_round;
+    const std::uint64_t slack =
+        (2 * run.metrics.max_message_words + budget - 1) / budget + 1;
+    const std::uint64_t provisioned = schedule->base_rounds * slack;
+    run.metrics.barrier_rounds_saved =
+        provisioned > run.stats.rounds ? provisioned - run.stats.rounds : 0;
+  }
 
   // Extract the spanner (union of per-node marks) and per-level records.
   std::vector<bool> in_spanner(g.num_edges(), false);

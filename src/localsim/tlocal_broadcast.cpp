@@ -184,12 +184,15 @@ BroadcastRun run_tlocal_broadcast(const Graph& g,
   });
 
   BroadcastRun run;
-  const std::size_t cap = static_cast<std::size_t>(rounds) + 4;
+  // Event-driven drain: delivery rounds are uncapped (a budget stretches
+  // the flood by whatever it actually costs), and the hop-budgeted flood
+  // never idles while alive, so the stall cap only covers framing rounds.
+  const std::size_t stall_cap = static_cast<std::size_t>(rounds) + 4;
   {
     // Named protocol span on the engine track (no-op when tracing is off)
     // so a trace of a composed run shows which protocol owns which rounds.
     const obs::ProtocolScope span(net.tracer(), "tlocal_broadcast");
-    run.stats = net.run_until_drained(cap, /*hard_cap=*/cap * 4096);
+    run.stats = net.run_until_drained(stall_cap);
   }
   FL_REQUIRE(run.stats.terminated, "broadcast did not terminate");
   run.metrics = net.metrics();

@@ -50,6 +50,8 @@ double Context::n_bound() const {
   return std::exp2(net_->log_n_bound());
 }
 
+bool Context::network_silent() const { return net_->round_silent(); }
+
 util::Xoshiro256& Context::rng() {
   // The per-node RNG stream is mutable node state: drawing from another
   // shard's stream would silently change that node's randomness (and the
@@ -749,16 +751,74 @@ RunStats Network::run(std::size_t max_rounds) {
   return stats;
 }
 
-RunStats Network::run_until_drained(std::size_t max_rounds,
-                                    std::size_t hard_cap) {
-  std::size_t cap = max_rounds;
-  RunStats stats = run(cap);
-  if (congest_.enforced()) {
-    while (!stats.terminated && cap < hard_cap) {
-      cap = std::min(cap * 2, hard_cap);
-      stats = run(cap);
+std::uint64_t Network::max_carried_words() const {
+  std::uint64_t max_words = 0;
+  for (const auto& chunk : congest_chunks_)
+    for (std::size_t i = 0; i < chunk.carry.size(); ++i)
+      max_words = std::max<std::uint64_t>(max_words,
+                                          chunk.carry.header(i).size_hint_words);
+  return max_words;
+}
+
+RunStats Network::run_until_drained(std::size_t stall_cap) {
+  FL_REQUIRE(!programs_.empty(), "install programs before running");
+  begin_if_needed();
+  RunStats stats;
+  // Delivery rounds are uncapped: for a terminating protocol each one
+  // retires pending traffic (a merge delivered messages, or the admission
+  // pass banked budget toward a parked message), so only two failure modes
+  // need caps, and each gets a sharp diagnostic instead of the old
+  // cap * 64 + 4096 guess:
+  //   * stall rounds — round_silent() yet some program not done. A live
+  //     protocol must advance at least one logical step per silent round
+  //     (the event-driven barrier contract), so the cumulative count is
+  //     bounded by the protocol's own step count, independent of any
+  //     CONGEST stretch.
+  //   * carry wedge — consecutive zero-delivery rounds with messages
+  //     parked. Banking admits a K-word head message within ceil(K / B)
+  //     rounds, so exceeding that bound (+1 slack) is an engine bug.
+  std::size_t stalls = 0;
+  std::size_t carry_wait = 0;
+  while (true) {
+    bool quiet;
+    {
+      const obs::SpanScope span(trace_.get(), obs::SpanKind::Quiesce, 0,
+                                round_);
+      quiet = quiescent();
     }
+    if (quiet) {
+      stats.terminated = true;
+      break;
+    }
+    if (delivered_last_round_ > 0) {
+      carry_wait = 0;
+    } else if (carry_total_ > 0) {
+      ++carry_wait;
+      const std::uint64_t budget = congest_.words_per_edge_per_round;
+      const std::uint64_t bound = (max_carried_words() + budget - 1) / budget + 1;
+      FL_ENSURE(carry_wait <= bound,
+                "carry queues wedged: " + std::to_string(carry_wait) +
+                    " consecutive zero-delivery rounds with " +
+                    std::to_string(carry_total_) +
+                    " messages parked exceeds the banking bound " +
+                    std::to_string(bound) + " at round " +
+                    std::to_string(round_) + " — admission-pass engine bug");
+    } else {
+      carry_wait = 0;
+      ++stalls;
+      FL_REQUIRE(stalls <= stall_cap,
+                 "protocol wedged: " + std::to_string(stalls) +
+                     " silent rounds (nothing delivered, nothing carried) " +
+                     "exceed the stall cap " + std::to_string(stall_cap) +
+                     " at round " + std::to_string(round_) +
+                     " with programs still not done — a phase failed to "
+                     "advance on its barrier");
+    }
+    phase_step(/*starting=*/false);
+    phase_merge();
   }
+  stats.rounds = round_;
+  stats.messages = metrics_.messages_total;
   return stats;
 }
 

@@ -77,15 +77,19 @@ class Network {
   /// layered protocols that interleave phases.
   void step(std::size_t rounds);
 
-  /// run(max_rounds), then — only under an enforced Defer budget — keep
-  /// doubling the round cap (up to `hard_cap`) until the carry queues
-  /// drain and the run terminates. A budget stretches a protocol's
-  /// schedule by a workload-dependent factor (words per edge per LOCAL
-  /// round / budget); doubling discovers it instead of guessing, and each
-  /// re-run resumes where the previous one stopped, so total work stays
-  /// linear in the final round count. In LOCAL mode this is exactly
-  /// run(max_rounds).
-  RunStats run_until_drained(std::size_t max_rounds, std::size_t hard_cap);
+  /// Run until global termination, with no guessed round cap: delivery
+  /// rounds (traffic moved or carry queues busy) are uncapped — each one
+  /// consumes finite pending work for a terminating protocol — and only
+  /// *stall* rounds (round_silent() yet some program not done) count
+  /// against `stall_cap`. A protocol that advances at least one logical
+  /// step per silent round therefore needs a cap of (logical steps + a
+  /// small constant), independent of any CONGEST stretch factor. Two sharp
+  /// diagnostics replace the old doubling heuristic's hard cap: exceeding
+  /// `stall_cap` throws ContractViolation naming rounds/stalls/carry/done
+  /// counts (a wedged protocol), and an engine invariant bounds
+  /// consecutive zero-delivery rounds with carry parked by the banking
+  /// bound ceil(max carried words / budget) + 1 (a wedged admission pass).
+  RunStats run_until_drained(std::size_t stall_cap);
 
   const graph::Graph& graph() const { return *graph_; }
   Knowledge knowledge() const { return knowledge_; }
@@ -117,6 +121,18 @@ class Network {
   /// Messages held back by the budget and not yet delivered. Zero in LOCAL
   /// mode; a budgeted run is quiescent only once this drains.
   std::uint64_t carried_messages() const { return carry_total_; }
+
+  /// The deterministic silence predicate for event-driven phase barriers:
+  /// the last merge delivered nothing and no message is parked in a carry
+  /// queue — i.e. every message sent so far has been fully delivered *and*
+  /// handled (any reaction it provoked would itself be in flight). Both
+  /// facts are merge-barrier outputs, so the predicate is bit-identical at
+  /// every FL_SIM_THREADS / FL_SIM_BALANCE and any FL_SIM_CONGEST value,
+  /// and is stable for the whole step phase (it only mutates at the next
+  /// merge). Programs read it through Context::network_silent().
+  bool round_silent() const {
+    return delivered_last_round_ == 0 && carry_total_ == 0;
+  }
 
   /// Logical ownership / phase checking (sim/check.hpp; defaults to the
   /// FL_SIM_CHECK env probe, else off); only legal before the first round.
@@ -206,6 +222,7 @@ class Network {
   void merge_lanes(std::uint64_t total);
   std::uint64_t congest_admit();  // budget pass over the merged arena
   bool all_done() const;  // O(S) sum of the lanes' done-counters
+  std::uint64_t max_carried_words() const;  // scan of the carry queues
 
   const graph::Graph* graph_;
   Knowledge knowledge_;

@@ -81,6 +81,15 @@ class Context {
   /// This node's private random stream (deterministic per run seed).
   util::Xoshiro256& rng();
 
+  /// Event-driven barrier fact (Network::round_silent): true when the last
+  /// merge delivered nothing and no message is parked in a congest carry
+  /// queue — i.e. all traffic sent so far has drained. A merge-barrier
+  /// output, identical for every node in the round and bit-identical at
+  /// any thread count or CONGEST budget; stable for the whole step phase.
+  /// Phase-scheduled protocols advance their logical phase on silence
+  /// instead of counting provisioned rounds.
+  bool network_silent() const;
+
  private:
   Network* net_;
   graph::NodeId self_;

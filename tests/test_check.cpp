@@ -73,7 +73,7 @@ std::uint64_t run_digest(unsigned threads, bool check, bool budget) {
   net.set_check(check);
   if (budget) net.set_congest({4, CongestPolicy::Defer});
   net.install_all<Chatter>(4u);
-  const RunStats stats = net.run_until_drained(64, 4096);
+  const RunStats stats = net.run_until_drained(64);
   EXPECT_TRUE(stats.terminated);
   if (budget) {
     EXPECT_GT(net.metrics().deferrals_total, 0u);

@@ -464,10 +464,12 @@ TEST(CongestProtocols, BroadcastReforwardDedupSavesWordsKeepsCoverage) {
 
   // In LOCAL mode improvements never occur (the first arrival rides the
   // BFS-shortest path, hence the maximal budget), so the knob must be
-  // bit-invisible: same trace-relevant stats, messages, and words.
-  const auto local_dedup = localsim::run_tlocal_broadcast(g, edges, 4, 9);
+  // bit-invisible: same trace-relevant stats, messages, and words. Pin the
+  // LOCAL runs explicitly so an FL_SIM_CONGEST env probe cannot budget them.
+  const auto local_dedup =
+      localsim::run_tlocal_broadcast(g, edges, 4, 9, sim::CongestConfig{});
   const auto local_full = localsim::run_tlocal_broadcast(
-      g, edges, 4, 9, std::nullopt, /*dedup_reforward=*/false);
+      g, edges, 4, 9, sim::CongestConfig{}, /*dedup_reforward=*/false);
   EXPECT_EQ(local_dedup.reached, local_full.reached);
   EXPECT_EQ(local_dedup.stats.rounds, local_full.stats.rounds);
   EXPECT_EQ(local_dedup.stats.messages, local_full.stats.messages);
@@ -500,17 +502,22 @@ TEST(CongestProtocols, BroadcastBudgetedRunIsThreadCountInvariant) {
 }
 
 TEST(CongestProtocols, SamplerRunsBudgetedWithScheduleSlack) {
-  // The sampler's timetable assumes LOCAL delivery; with a finite budget
-  // plus proportional schedule slack the run must still terminate, take
-  // strictly more rounds than its LOCAL twin, and stay deterministic
-  // across thread counts.
+  // The fixed timetable assumes LOCAL delivery; with a finite budget plus
+  // proportional schedule slack (BarrierMode::FixedSchedule — the
+  // compatibility path; event-driven barriers are covered by
+  // tests/test_barrier.cpp) the run must still terminate, take strictly
+  // more rounds than its LOCAL twin, and stay deterministic across thread
+  // counts. Both runs pin their congest config explicitly so the test
+  // means the same thing under any ambient FL_SIM_CONGEST.
   util::Xoshiro256 rng(5);
   const Graph g = graph::erdos_renyi_gnm(64, 256, rng);
   auto cfg = core::SamplerConfig::bench_profile(2, 2, 7);
 
+  cfg.congest = sim::CongestConfig{};  // plain LOCAL baseline
   const auto local = core::run_distributed_sampler(g, cfg);
 
   cfg.congest = defer(8);
+  cfg.barriers = core::BarrierMode::FixedSchedule;
   cfg.schedule_slack = 4;
   auto run_with_threads = [&](unsigned threads) {
     if (threads == 1) {

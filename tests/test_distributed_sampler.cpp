@@ -14,6 +14,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanner_check.hpp"
+#include "sim/congest.hpp"
 #include "util/rng.hpp"
 
 namespace fl {
@@ -48,7 +49,11 @@ TEST(Schedule, RoundBoundMatchesTheorem11) {
 TEST(DistributedSampler, TerminatesWithinSchedule) {
   util::Xoshiro256 rng(3);
   const Graph g = graph::erdos_renyi_gnm(200, 1200, rng);
-  const auto cfg = SamplerConfig::paper_faithful(2, 2, 17);
+  auto cfg = SamplerConfig::paper_faithful(2, 2, 17);
+  // This test is about the *fixed timetable's* round bound; pin plain
+  // LOCAL delivery so an ambient FL_SIM_CONGEST cannot flip the run to
+  // event-driven barriers (whose round count is graph-dependent).
+  cfg.congest = sim::CongestConfig{};
   const auto run = core::run_distributed_sampler(g, cfg);
   EXPECT_TRUE(run.stats.terminated);
   const auto sched = Schedule::build(cfg);
@@ -135,8 +140,11 @@ TEST(DistributedSampler, MessageCountSublinearInDensity) {
 
 TEST(DistributedSampler, RoundsIndependentOfGraph) {
   // Round complexity depends only on (k, h) — identical schedules, so
-  // near-identical round counts across very different graphs.
-  const auto cfg = SamplerConfig::paper_faithful(2, 2, 73);
+  // near-identical round counts across very different graphs. A fixed-
+  // timetable property: pin LOCAL delivery (under a budget the adaptive
+  // barrier makes rounds a function of actual traffic, hence the graph).
+  auto cfg = SamplerConfig::paper_faithful(2, 2, 73);
+  cfg.congest = sim::CongestConfig{};
   util::Xoshiro256 rng(19);
   const auto r1 = core::run_distributed_sampler(graph::ring(100), cfg);
   const auto r2 = core::run_distributed_sampler(graph::complete(100), cfg);

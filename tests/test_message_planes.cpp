@@ -206,7 +206,7 @@ TEST(PlaneReuse, StopResumeWithCarryQueuesMatchesUninterruptedRun) {
   Network full(g, Knowledge::EdgeIds, 3);
   full.set_congest({budget, CongestPolicy::Defer});
   full.install_all<Flood>(rounds, 3u);  // 3 words vs 1-word budget: backlog
-  const RunStats want = full.run_until_drained(64, 4096);
+  const RunStats want = full.run_until_drained(64);
   ASSERT_TRUE(want.terminated);
 
   // Same run stopped mid-backlog (carry queues non-empty) and resumed: the
@@ -218,7 +218,7 @@ TEST(PlaneReuse, StopResumeWithCarryQueuesMatchesUninterruptedRun) {
   ASSERT_FALSE(stats.terminated);
   ASSERT_GT(half.carried_messages(), 0u) << "stop point must hold a backlog";
   const std::uint64_t paused_allocs = half.debug_plane_allocations();
-  stats = half.run_until_drained(64, 4096);
+  stats = half.run_until_drained(64);
   ASSERT_TRUE(stats.terminated);
 
   EXPECT_EQ(stats.rounds, want.rounds);
@@ -241,7 +241,7 @@ TEST(PlaneReuse, RunIsBitIdenticalAcrossThreadsAndBudgets) {
       net.set_parallelism({threads});
       if (budget > 0) net.set_congest({budget, CongestPolicy::Defer});
       net.install_all<Flood>(6u);
-      const RunStats stats = net.run_until_drained(64, 4096);
+      const RunStats stats = net.run_until_drained(64);
       ASSERT_TRUE(stats.terminated);
       std::uint64_t sum = 0;
       for (NodeId v = 0; v < g.num_nodes(); ++v)
