@@ -1,0 +1,242 @@
+#include "net/channel.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fl::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op) {
+  throw ChannelError(op + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: a platform refusing TCP_NODELAY costs latency, not
+  // correctness, so this is the one socket call allowed to fail silently.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void send_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE -> ChannelError,
+    // never as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    p += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void recv_all(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, p, size, 0);
+    if (n == 0)
+      throw ChannelError(
+          "recv: peer closed the channel (a shard process likely died — "
+          "check stderr for its error)");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    p += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Socket, std::uint16_t> listen_loopback() {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-chosen
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0)
+    fail("bind");
+  if (::listen(s.fd(), 8) < 0) fail("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+    fail("getsockname");
+  return {std::move(s), ntohs(bound.sin_port)};
+}
+
+Socket connect_loopback(std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+    if (errno == EINTR) continue;
+    fail("connect");
+  }
+  set_nodelay(s.fd());
+  return s;
+}
+
+Socket accept_one(Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    fail("accept");
+  }
+}
+
+std::pair<Socket, Socket> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) fail("socketpair");
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+void StreamChannel::send_frame(const void* data, std::size_t size) {
+  if (size > 0xFFFFFFFFull) throw ChannelError("frame exceeds 4 GiB");
+  const auto n = static_cast<std::uint32_t>(size);
+  const std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(n), static_cast<std::uint8_t>(n >> 8),
+      static_cast<std::uint8_t>(n >> 16), static_cast<std::uint8_t>(n >> 24)};
+  send_all(sock_.fd(), prefix, sizeof(prefix));
+  if (size > 0) send_all(sock_.fd(), data, size);
+}
+
+std::vector<std::uint8_t> StreamChannel::recv_frame() {
+  std::uint8_t prefix[4];
+  recv_all(sock_.fd(), prefix, sizeof(prefix));
+  const std::uint32_t n = static_cast<std::uint32_t>(prefix[0]) |
+                          (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                          (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                          (static_cast<std::uint32_t>(prefix[3]) << 24);
+  std::vector<std::uint8_t> body(n);
+  if (n > 0) recv_all(sock_.fd(), body.data(), n);
+  return body;
+}
+
+std::vector<std::vector<std::uint8_t>> exchange_frames(
+    std::span<Socket*> peers,
+    const std::vector<std::vector<std::uint8_t>>& outgoing,
+    std::uint64_t* wire_bytes) {
+  // Per-peer progress state. Sends are the peer's frame with its 4-byte
+  // prefix prepended; receives run the mirror state machine (prefix, then
+  // body). Everything is poll()-driven: a peer whose pipe is full simply
+  // stops being writable for a while, and the loop keeps draining the
+  // others — the property that makes simultaneous all-to-all sends safe
+  // at any frame size.
+  struct PeerState {
+    std::vector<std::uint8_t> out;  // prefix + frame
+    std::size_t sent = 0;
+    std::vector<std::uint8_t> in;   // grows to prefix, then full frame
+    std::size_t got = 0;
+    bool have_len = false;
+  };
+  const std::size_t k = peers.size();
+  std::vector<PeerState> st(k);
+  std::size_t pending = 0;  // directions still in flight (2 per peer)
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& frame = outgoing[i];
+    if (frame.size() > 0xFFFFFFFFull) throw ChannelError("frame exceeds 4 GiB");
+    const auto n = static_cast<std::uint32_t>(frame.size());
+    st[i].out.reserve(4 + frame.size());
+    st[i].out.push_back(static_cast<std::uint8_t>(n));
+    st[i].out.push_back(static_cast<std::uint8_t>(n >> 8));
+    st[i].out.push_back(static_cast<std::uint8_t>(n >> 16));
+    st[i].out.push_back(static_cast<std::uint8_t>(n >> 24));
+    st[i].out.insert(st[i].out.end(), frame.begin(), frame.end());
+    st[i].in.resize(4);
+    pending += 2;
+  }
+  std::vector<pollfd> fds(k);
+  while (pending > 0) {
+    for (std::size_t i = 0; i < k; ++i) {
+      fds[i].fd = peers[i]->fd();
+      fds[i].events = 0;
+      fds[i].revents = 0;
+      if (st[i].sent < st[i].out.size()) fds[i].events |= POLLOUT;
+      if (st[i].got < st[i].in.size()) fds[i].events |= POLLIN;
+      if (fds[i].events == 0) fds[i].fd = -1;  // poll ignores negative fds
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      PeerState& p = st[i];
+      if ((fds[i].revents & (POLLOUT | POLLERR | POLLHUP)) != 0 &&
+          p.sent < p.out.size()) {
+        const ssize_t n = ::send(peers[i]->fd(), p.out.data() + p.sent,
+                                 p.out.size() - p.sent,
+                                 MSG_DONTWAIT | MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+            fail("send (exchange)");
+        } else {
+          p.sent += static_cast<std::size_t>(n);
+          if (p.sent == p.out.size()) --pending;
+        }
+      }
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0 &&
+          p.got < p.in.size()) {
+        const ssize_t n = ::recv(peers[i]->fd(), p.in.data() + p.got,
+                                 p.in.size() - p.got, MSG_DONTWAIT);
+        if (n == 0)
+          throw ChannelError(
+              "exchange: peer closed the channel mid-round (a shard process "
+              "likely died — check stderr for its error)");
+        if (n < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+            fail("recv (exchange)");
+        } else {
+          p.got += static_cast<std::size_t>(n);
+          if (!p.have_len && p.got == 4) {
+            const std::uint32_t len = static_cast<std::uint32_t>(p.in[0]) |
+                                      (static_cast<std::uint32_t>(p.in[1]) << 8) |
+                                      (static_cast<std::uint32_t>(p.in[2]) << 16) |
+                                      (static_cast<std::uint32_t>(p.in[3]) << 24);
+            p.have_len = true;
+            p.in.resize(4 + static_cast<std::size_t>(len));
+            if (len == 0) --pending;
+          } else if (p.have_len && p.got == p.in.size()) {
+            --pending;
+          }
+        }
+      }
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> result(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (wire_bytes != nullptr) *wire_bytes += st[i].out.size() + st[i].in.size();
+    st[i].in.erase(st[i].in.begin(), st[i].in.begin() + 4);
+    result[i] = std::move(st[i].in);
+  }
+  return result;
+}
+
+}  // namespace fl::net

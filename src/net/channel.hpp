@@ -1,0 +1,112 @@
+// Loopback stream channels for the TCP delivery backend.
+//
+// Every raw socket syscall in the repo lives in channel.cpp — fl_lint
+// FL011 bans socket/bind/htons-and-friends everywhere outside src/net/,
+// so the rest of the codebase talks frames, never file descriptors. Two
+// abstractions:
+//
+//   * Socket — a move-only RAII fd. Factories cover the two transports
+//     the backend needs: loopback TCP pairs (listen_loopback /
+//     connect_loopback / accept_one, with TCP_NODELAY set — a round-sync
+//     barrier is exactly the workload Nagle ruins) and AF_UNIX
+//     socketpairs for parent<->child control channels.
+//   * StreamChannel — blocking length-prefixed frames over a Socket: a
+//     u32 little-endian byte count, then the bytes. The framing matches
+//     sim/wire.hpp's conventions, so a frame body is usually a WireWriter
+//     buffer.
+//
+// exchange_frames is the deadlock-free all-to-all primitive: every shard
+// process sends one frame to and receives one frame from each peer,
+// poll()-driven and non-blocking for the duration, so two peers with
+// full-pipe simultaneous sends still make progress (the naive
+// send-then-receive loop deadlocks once frames outgrow the kernel's
+// socket buffers).
+//
+// Failure model: every EOF or socket error throws ChannelError. A dead
+// shard process closes its descriptors, which surfaces as EOF at every
+// peer — errors cascade through the mesh instead of wedging it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fl::net {
+
+class ChannelError : public std::runtime_error {
+ public:
+  explicit ChannelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Move-only RAII file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on 127.0.0.1 with a kernel-chosen port; returns the
+/// listener and the port to connect to.
+std::pair<Socket, std::uint16_t> listen_loopback();
+
+/// Connect to 127.0.0.1:port (TCP_NODELAY set).
+Socket connect_loopback(std::uint16_t port);
+
+/// Accept exactly one connection (TCP_NODELAY set on the result).
+Socket accept_one(Socket& listener);
+
+/// AF_UNIX stream socketpair — the parent<->shard control channel.
+std::pair<Socket, Socket> socket_pair();
+
+/// Blocking length-prefixed frames (u32 LE count + bytes) over a Socket.
+class StreamChannel {
+ public:
+  StreamChannel() = default;
+  explicit StreamChannel(Socket sock) : sock_(std::move(sock)) {}
+
+  bool valid() const { return sock_.valid(); }
+  Socket& socket() { return sock_; }
+
+  /// One frame out; throws ChannelError on any short write.
+  void send_frame(const void* data, std::size_t size);
+  /// One frame in; throws ChannelError on EOF or a short read.
+  std::vector<std::uint8_t> recv_frame();
+
+ private:
+  Socket sock_;
+};
+
+/// All-to-all frame swap: send outgoing[i] to peers[i] while receiving one
+/// frame from each into the returned vector (indexed like peers). Poll-
+/// based and non-blocking throughout, so simultaneous full-pipe sends
+/// cannot deadlock. Returns the received frames; `wire_bytes`, when given,
+/// accumulates the total bytes moved in both directions (prefix included).
+std::vector<std::vector<std::uint8_t>> exchange_frames(
+    std::span<Socket*> peers,
+    const std::vector<std::vector<std::uint8_t>>& outgoing,
+    std::uint64_t* wire_bytes = nullptr);
+
+}  // namespace fl::net

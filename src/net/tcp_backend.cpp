@@ -1,0 +1,581 @@
+#include "net/tcp_backend.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+#include "sim/exec.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/payload.hpp"
+#include "sim/wire.hpp"
+#include "util/assert.hpp"
+
+namespace fl::net {
+
+using graph::NodeId;
+using sim::MessageHeader;
+using sim::Payload;
+using sim::WireError;
+using sim::WireReader;
+using sim::WireWriter;
+
+namespace {
+
+// Control-channel commands (parent -> child, one frame per round).
+constexpr std::uint8_t kCmdRound = 1;
+constexpr std::uint8_t kCmdShutdown = 2;
+
+[[noreturn]] void child_die(const char* what) {
+  std::fprintf(stderr, "[fl tcp shard] fatal: %s\n", what);
+  std::fflush(stderr);
+  _exit(1);
+}
+
+}  // namespace
+
+/// See tcp_backend.hpp's file comment for the protocol. One instance is
+/// shared by fork: the parent keeps the oracle role (the inherited
+/// InProcessBackend state *is* the oracle), each child keeps the same
+/// object as its local sub-engine with shards_/lanes_ rebound to the
+/// process partition.
+class TcpBackend final : public sim::InProcessBackend {
+ public:
+  TcpBackend(std::size_t num_nodes, unsigned shards)
+      : InProcessBackend(num_nodes),
+        requested_shards_(shards),
+        name_("tcp:" + std::to_string(shards)) {}
+
+  ~TcpBackend() override {
+    if (rank_ >= 0) return;  // children never run destructors (_exit only)
+    shutdown_children();
+  }
+
+  std::string_view name() const override { return name_; }
+
+  void on_plan(sim::Network& net) override;
+  void begin_round(sim::Network& net, bool starting) override;
+  std::uint64_t merge_barrier(sim::Network& net) override;
+
+  const TcpStats& stats() const { return stats_; }
+
+ private:
+  void child_main(sim::Network& net);                      // never returns
+  void child_round(sim::Network& net, bool starting);
+  void parent_verify_round(sim::Network& net);
+  void shutdown_children();
+
+  unsigned owner_of(NodeId v) const { return owner_[v]; }
+
+  unsigned requested_shards_;
+  std::string name_;
+  std::vector<sim::ShardRange> parts_;  // the S-way process partition
+  std::vector<unsigned> owner_;         // node -> shard rank, size n
+
+  // Parent state.
+  std::vector<StreamChannel> ctrl_;  // one control channel per child
+  std::vector<pid_t> pids_;
+  TcpStats stats_;
+
+  // Child state.
+  int rank_ = -1;
+  std::vector<Socket> mesh_;   // mesh_[q] = stream to shard q (own: invalid)
+  sim::SendLane step_lane_;    // scratch lane the child's programs send into
+  std::uint64_t child_wire_bytes_ = 0;  // this round's socket traffic
+};
+
+void TcpBackend::on_plan(sim::Network& net) {
+  // The parent is a complete in-process engine — set its oracle state up
+  // first, exactly as the plain backend would.
+  InProcessBackend::on_plan(net);
+
+  const NodeId n = net.graph_->num_nodes();
+  parts_ = sim::partition_nodes(n, requested_shards_);
+  const auto s = static_cast<unsigned>(parts_.size());
+  owner_.resize(n);
+  for (unsigned r = 0; r < s; ++r)
+    for (NodeId v = parts_[r].begin; v < parts_[r].end; ++v) owner_[v] = r;
+
+  // Build the full transport in the parent, then fork: every child-child
+  // stream is a real loopback TCP connection (both ends accepted/connected
+  // here, inherited across fork), every parent-child control channel an
+  // AF_UNIX socketpair. This must run before the ExecPool exists — forking
+  // a process with live engine threads is undefined behaviour territory —
+  // which is exactly why DeliveryBackend::on_plan is sequenced before pool
+  // creation.
+  std::vector<std::vector<Socket>> mesh(s);
+  for (auto& row : mesh) row.resize(s);
+  for (unsigned i = 0; i < s; ++i) {
+    for (unsigned j = i + 1; j < s; ++j) {
+      auto [listener, port] = listen_loopback();
+      Socket a = connect_loopback(port);
+      Socket b = accept_one(listener);
+      mesh[i][j] = std::move(a);
+      mesh[j][i] = std::move(b);
+    }
+  }
+  std::vector<std::pair<Socket, Socket>> ctrl_pairs;
+  ctrl_pairs.reserve(s);
+  for (unsigned r = 0; r < s; ++r) ctrl_pairs.push_back(socket_pair());
+
+  for (unsigned r = 0; r < s; ++r) {
+    const pid_t pid = ::fork();
+    FL_REQUIRE(pid >= 0, "fork failed for tcp shard process");
+    if (pid == 0) {
+      // ---- child r ----
+      rank_ = static_cast<int>(r);
+      mesh_ = std::move(mesh[r]);
+      mesh.clear();  // closes every other shard's descriptors
+      ctrl_.clear();
+      ctrl_.emplace_back(std::move(ctrl_pairs[r].second));
+      ctrl_pairs.clear();  // closes the parent ends + other children's pairs
+      child_main(net);     // never returns
+    }
+    pids_.push_back(pid);
+  }
+  // ---- parent ----
+  ctrl_.reserve(s);
+  for (auto& pair : ctrl_pairs) ctrl_.emplace_back(std::move(pair.first));
+  // mesh + child ctrl ends close here (vector destruction at scope exit):
+  // from now on the only parent descriptors are the S control channels.
+}
+
+void TcpBackend::begin_round(sim::Network& net, bool starting) {
+  // Release the children into the round. The frame carries the *global*
+  // silence facts so Context::network_silent() answers identically in
+  // every process — a child only knows its own shard's delivery counts.
+  WireWriter w;
+  w.u8(kCmdRound);
+  w.u64(net.round_);
+  w.u8(starting ? 1 : 0);
+  w.u64(net.delivered_last_round_);
+  w.u64(net.carried_after_merge_);
+  for (auto& ch : ctrl_) ch.send_frame(w.data(), w.size());
+}
+
+// ------------------------------------------------------------------ child
+
+void TcpBackend::child_main(sim::Network& net) {
+  try {
+    // The child is a sequential sub-engine: no pool, no tracer, no
+    // checker (their state is the parent's; a forked copy must not write
+    // artifacts or bind lanes). release(), not reset(): the Tracer's
+    // destructor finalizes the trace artifact, which only the parent may
+    // do — the child leaks the forked copies and exits via _exit, which
+    // runs no destructors anyway.
+    (void)net.trace_.release();
+    (void)net.check_.release();
+    net.check_probe_ = nullptr;
+
+    // Rebind the execution plan to the process partition: one lane per
+    // *sender shard* (the merge orders lanes ascending within each
+    // destination, so sender-shard lanes reproduce the canonical
+    // ascending-sender order), one admission chunk per shard.
+    const NodeId n = net.graph_->num_nodes();
+    const auto s = static_cast<unsigned>(parts_.size());
+    net.shards_ = parts_;
+    net.lanes_.resize(s);
+    for (auto& lane : net.lanes_) {
+      if (lane.dest_counts.size() != n) {
+        lane.dest_counts.assign(n, 0);
+        lane.cursors.assign(n, 0);
+      }
+    }
+    step_lane_.dest_counts.assign(n, 0);
+    step_lane_.cursors.assign(n, 0);
+    chunk_weight_.assign(s, 0);
+    if (net.congest_.enforced()) {
+      congest_edges_.assign(2 * static_cast<std::size_t>(net.graph_->num_edges()),
+                            EdgeBudgetState{});
+      congest_chunks_ = std::vector<CongestChunk>(s);
+      congest_counts_.assign(n, 0);
+    }
+
+    while (true) {
+      auto frame = ctrl_.front().recv_frame();
+      WireReader r(frame.data(), frame.size());
+      const std::uint8_t cmd = r.u8();
+      if (cmd == kCmdShutdown) _exit(0);
+      if (cmd != kCmdRound) child_die("unknown control command");
+      const std::uint64_t round = r.u64();
+      const bool starting = r.u8() != 0;
+      net.delivered_last_round_ = r.u64();
+      net.carried_after_merge_ = r.u64();
+      if (round != net.round_) child_die("control round out of sync");
+      child_round(net, starting);
+    }
+  } catch (const std::exception& e) {
+    child_die(e.what());
+  } catch (...) {
+    child_die("unknown exception");
+  }
+}
+
+void TcpBackend::child_round(sim::Network& net, bool starting) {
+  const NodeId n = net.graph_->num_nodes();
+  const auto s = static_cast<unsigned>(parts_.size());
+  const auto rank = static_cast<unsigned>(rank_);
+  const sim::ShardRange mine = parts_[rank];
+  child_wire_bytes_ = 0;
+
+  // Pre-run sends (tests enqueue through a pre-run Context before the
+  // first round) sit in the inherited lane-0 outbox, in caller order. The
+  // oracle delivers them at the head of lane 0, so each child keeps the
+  // ones addressed to its own shard — order preserved — and stages them
+  // for the front of its lane 0. They never cross a socket: they are
+  // harness inputs, not protocol traffic.
+  sim::MessagePlanes prerun;
+  if (starting) {
+    auto& lane0 = net.lanes_.front().outbox;
+    for (std::size_t i = 0; i < lane0.size(); ++i) {
+      if (owner_of(lane0.header(i).to) == rank)
+        prerun.push_back(lane0.header(i), std::move(lane0.payload(i)));
+    }
+    for (auto& lane : net.lanes_) {
+      lane.outbox.clear();
+      lane.dest_counts.assign(n, 0);
+      lane.words = 0;
+    }
+  }
+
+  // Step this shard's programs into the scratch lane.
+  for (NodeId v = mine.begin; v < mine.end; ++v) {
+    sim::Context ctx(net, v, step_lane_);
+    if (starting) {
+      net.programs_[v]->on_start(ctx);
+    } else {
+      net.programs_[v]->on_round(ctx, net.inbox_span(v));
+    }
+    net.done_state_[v] = net.programs_[v]->done() ? 1 : 0;
+  }
+
+  // Demux: same-shard sends feed lane `rank` directly; foreign sends are
+  // wire-encoded into one frame per destination shard. Frame layout per
+  // message: header fields (u32 edge/from/to/size_hint), u64 wire type
+  // id, u32 payload byte count, payload bytes.
+  std::vector<WireWriter> out(s);
+  sim::MessagePlanes locals;
+  for (std::size_t i = 0; i < step_lane_.outbox.size(); ++i) {
+    const MessageHeader& h = step_lane_.outbox.header(i);
+    Payload& p = step_lane_.outbox.payload(i);
+    step_lane_.dest_counts[h.to] = 0;  // undo enqueue's counting
+    const unsigned q = owner_of(h.to);
+    if (q == rank) {
+      locals.push_back(h, std::move(p));
+      continue;
+    }
+    WireWriter& w = out[q];
+    w.u32(h.edge);
+    w.u32(h.from);
+    w.u32(h.to);
+    w.u32(h.size_hint_words);
+    w.u64(p.wire_type());
+    const std::size_t len_slot = w.reserve_u32();
+    p.wire_encode(w);  // throws WireError naming the type if not encodable
+    w.patch_u32(len_slot,
+                static_cast<std::uint32_t>(w.size() - len_slot - 4));
+  }
+  step_lane_.outbox.clear();
+  step_lane_.words = 0;
+
+  // All-to-all frame swap with every peer shard (poll-driven; see
+  // channel.hpp for why the naive send-then-recv loop would deadlock).
+  std::vector<Socket*> peers;
+  std::vector<std::vector<std::uint8_t>> outgoing;
+  for (unsigned q = 0; q < s; ++q) {
+    if (q == rank) continue;
+    peers.push_back(&mesh_[q]);
+    outgoing.emplace_back(std::move(out[q].buffer()));
+  }
+  const auto incoming =
+      exchange_frames(peers, outgoing, &child_wire_bytes_);
+
+  // Build the sender-shard lanes: lane q holds shard q's messages for this
+  // shard, in shard q's send order. Lane 0 additionally starts with the
+  // pre-run messages on the first round — exactly where the oracle merge
+  // has them.
+  auto deposit = [&](unsigned lane_idx, const MessageHeader& h, Payload&& p) {
+    sim::SendLane& lane = net.lanes_[lane_idx];
+    ++lane.dest_counts[h.to];
+    lane.outbox.push_back(h, std::move(p));
+  };
+  if (starting) {
+    for (std::size_t i = 0; i < prerun.size(); ++i)
+      deposit(0, prerun.header(i), std::move(prerun.payload(i)));
+  }
+  for (std::size_t i = 0; i < locals.size(); ++i)
+    deposit(rank, locals.header(i), std::move(locals.payload(i)));
+  std::size_t peer_idx = 0;
+  for (unsigned q = 0; q < s; ++q) {
+    if (q == rank) continue;
+    const auto& bytes = incoming[peer_idx++];
+    WireReader r(bytes.data(), bytes.size());
+    while (r.remaining() > 0) {
+      MessageHeader h;
+      h.edge = r.u32();
+      h.from = r.u32();
+      h.to = r.u32();
+      h.size_hint_words = r.u32();
+      const std::uint64_t id = r.u64();
+      const std::uint32_t len = r.u32();
+      WireReader body(r.take(len).data(), len);
+      Payload p = Payload::wire_decode(id, body);
+      if (body.remaining() != 0)
+        throw WireError("shard frame payload has trailing bytes");
+      if (owner_of(h.to) != rank)
+        throw WireError("shard frame message addressed to a foreign shard");
+      deposit(q, h, std::move(p));
+    }
+  }
+
+  // The same merge + admission engine as in-process, sequentially over
+  // all S lanes/chunks.
+  std::uint64_t total = 0;
+  for (const auto& lane : net.lanes_) total += lane.outbox.size();
+  merge_lanes(net, total);
+  if (net.congest_.enforced()) congest_admit(net);
+
+  // Round-sync barrier report: counts, per-directed-edge word tallies,
+  // and the admitted stream with wire-encoded payloads (the parent swaps
+  // those into its arena after verifying them against the oracle).
+  std::uint64_t done = 0;
+  for (NodeId v = mine.begin; v < mine.end; ++v) done += net.done_state_[v];
+  std::map<std::uint64_t, std::uint64_t> tallies;
+  for (std::size_t i = 0; i < arena_.size(); ++i) {
+    const MessageHeader& h = arena_.header(i);
+    const std::uint64_t key =
+        2 * static_cast<std::uint64_t>(h.edge) + (h.to > h.from ? 1 : 0);
+    tallies[key] += h.size_hint_words;
+  }
+  WireWriter report;
+  report.u64(net.round_);
+  report.u64(arena_.size());
+  report.u64(carry_total_);
+  report.u64(done);
+  report.u64(child_wire_bytes_);
+  report.u32(static_cast<std::uint32_t>(tallies.size()));
+  for (const auto& [key, words] : tallies) {
+    report.u64(key);
+    report.u64(words);
+  }
+  report.u32(static_cast<std::uint32_t>(arena_.size()));
+  for (std::size_t i = 0; i < arena_.size(); ++i) {
+    const MessageHeader& h = arena_.header(i);
+    report.u32(h.edge);
+    report.u32(h.from);
+    report.u32(h.to);
+    report.u32(h.size_hint_words);
+    report.u64(arena_.payload(i).wire_type());
+    const std::size_t len_slot = report.reserve_u32();
+    arena_.payload(i).wire_encode(report);
+    report.patch_u32(len_slot,
+                     static_cast<std::uint32_t>(report.size() - len_slot - 4));
+  }
+  ++net.round_;
+  ctrl_.front().send_frame(report.data(), report.size());
+}
+
+// ----------------------------------------------------------------- parent
+
+std::uint64_t TcpBackend::merge_barrier(sim::Network& net) {
+  // The oracle merge first: the parent stepped every node itself, so this
+  // produces the canonical arena the children must match.
+  const std::uint64_t count = InProcessBackend::merge_barrier(net);
+  {
+    const obs::SpanScope span(net.trace_.get(), obs::SpanKind::NetBarrier, 0,
+                              net.round_);
+    const std::uint64_t t0 = obs::Clock::now_ns();
+    parent_verify_round(net);
+    stats_.rounds += 1;
+    stats_.barrier_ns += obs::Clock::now_ns() - t0;
+  }
+  return count;
+}
+
+void TcpBackend::parent_verify_round(sim::Network& net) {
+  const auto s = static_cast<unsigned>(parts_.size());
+  const std::size_t round = net.round_;
+  auto where = [&](unsigned r) {
+    return " (backend " + std::string(name_) + ", shard " + std::to_string(r) +
+           ", round " + std::to_string(round) + ")";
+  };
+
+  // Encodability pre-pass over everything the engine is holding this
+  // round (delivered arena + congest carry). A non-encodable payload
+  // kills the child at send time; checking here first turns the resulting
+  // confusing control-channel EOF into a WireError naming the type.
+  auto require_encodable = [&](const Payload& p) {
+    if (p.can_wire_encode()) return;
+    throw WireError(
+        "the tcp backend requires wire-encodable payloads; offending type: " +
+        (p.type() != nullptr ? sim::detail::type_name(*p.type())
+                             : std::string("<empty payload>")) +
+        " (declare its fields with FL_WIRE_FIELDS)");
+  };
+  for (std::size_t i = 0; i < arena_.size(); ++i)
+    require_encodable(arena_.payload(i));
+  for (const auto& chunk : congest_chunks_)
+    for (std::size_t i = 0; i < chunk.carry.size(); ++i)
+      require_encodable(chunk.carry.payload(i));
+
+  std::uint64_t carried_sum = 0;
+  for (unsigned r = 0; r < s; ++r) {
+    auto frame = ctrl_[r].recv_frame();
+    WireReader rd(frame.data(), frame.size());
+    const std::uint64_t child_round = rd.u64();
+    const std::uint64_t delivered = rd.u64();
+    const std::uint64_t carried = rd.u64();
+    const std::uint64_t done = rd.u64();
+    const std::uint64_t wire_bytes = rd.u64();
+    if (child_round != round)
+      throw BackendMismatch("shard round " + std::to_string(child_round) +
+                            " != parent round" + where(r));
+
+    const std::uint32_t begin_slot = arena_offsets_[parts_[r].begin];
+    const std::uint32_t end_slot = arena_offsets_[parts_[r].end];
+    if (delivered != end_slot - begin_slot)
+      throw BackendMismatch(
+          "shard delivered " + std::to_string(delivered) + " messages, oracle " +
+          std::to_string(end_slot - begin_slot) + where(r));
+
+    std::uint64_t parent_done = 0;
+    for (NodeId v = parts_[r].begin; v < parts_[r].end; ++v)
+      parent_done += net.done_state_[v];
+    if (done != parent_done)
+      throw BackendMismatch("shard reports " + std::to_string(done) +
+                            " done programs, oracle " +
+                            std::to_string(parent_done) + where(r));
+
+    // Per-directed-edge word tallies: the round-sync barrier's CONGEST
+    // ledger. The oracle recomputes the shard's slice from its own arena.
+    std::map<std::uint64_t, std::uint64_t> expect;
+    for (std::uint32_t i = begin_slot; i < end_slot; ++i) {
+      const MessageHeader& h = arena_.header(i);
+      expect[2 * static_cast<std::uint64_t>(h.edge) + (h.to > h.from ? 1 : 0)] +=
+          h.size_hint_words;
+    }
+    const std::uint32_t tally_count = rd.u32();
+    if (tally_count != expect.size())
+      throw BackendMismatch("shard reports " + std::to_string(tally_count) +
+                            " active directed edges, oracle " +
+                            std::to_string(expect.size()) + where(r));
+    auto it = expect.begin();
+    for (std::uint32_t i = 0; i < tally_count; ++i, ++it) {
+      const std::uint64_t key = rd.u64();
+      const std::uint64_t words = rd.u64();
+      if (key != it->first || words != it->second)
+        throw BackendMismatch(
+            "per-edge word tally diverges at directed edge key " +
+            std::to_string(key) + ": shard " + std::to_string(words) +
+            " words, oracle expects key " + std::to_string(it->first) + " = " +
+            std::to_string(it->second) + where(r));
+    }
+
+    // The admitted stream: headers must match the oracle arena slot for
+    // slot; payloads are wire-decoded and *replace* the oracle's copies,
+    // so the bytes protocols consume next round really crossed a socket.
+    const std::uint32_t stream_count = rd.u32();
+    if (stream_count != delivered)
+      throw BackendMismatch("shard stream has " + std::to_string(stream_count) +
+                            " messages, header said " +
+                            std::to_string(delivered) + where(r));
+    for (std::uint32_t i = 0; i < stream_count; ++i) {
+      const std::uint32_t slot = begin_slot + i;
+      MessageHeader h;
+      h.edge = rd.u32();
+      h.from = rd.u32();
+      h.to = rd.u32();
+      h.size_hint_words = rd.u32();
+      const MessageHeader& o = arena_.header(slot);
+      if (h.edge != o.edge || h.from != o.from || h.to != o.to ||
+          h.size_hint_words != o.size_hint_words)
+        throw BackendMismatch(
+            "delivered stream diverges at slot " + std::to_string(slot) +
+            ": shard (edge " + std::to_string(h.edge) + ", " +
+            std::to_string(h.from) + " -> " + std::to_string(h.to) + ", " +
+            std::to_string(h.size_hint_words) + "w), oracle (edge " +
+            std::to_string(o.edge) + ", " + std::to_string(o.from) + " -> " +
+            std::to_string(o.to) + ", " + std::to_string(o.size_hint_words) +
+            "w)" + where(r));
+      const std::uint64_t id = rd.u64();
+      if (id != arena_.payload(slot).wire_type())
+        throw BackendMismatch(
+            "payload wire type diverges at slot " + std::to_string(slot) +
+            where(r));
+      const std::uint32_t len = rd.u32();
+      WireReader body(rd.take(len).data(), len);
+      Payload p = Payload::wire_decode(id, body);
+      if (body.remaining() != 0)
+        throw BackendMismatch("payload stream has trailing bytes at slot " +
+                              std::to_string(slot) + where(r));
+      arena_.payload(slot) = std::move(p);
+    }
+    if (rd.remaining() != 0)
+      throw BackendMismatch("report frame has trailing bytes" + where(r));
+    carried_sum += carried;
+    stats_.wire_bytes += wire_bytes + frame.size();
+  }
+  if (carried_sum != carry_total_)
+    throw BackendMismatch(
+        "shards carry " + std::to_string(carried_sum) +
+        " deferred messages in total, oracle " + std::to_string(carry_total_) +
+        " (backend " + std::string(name_) + ", round " + std::to_string(round) +
+        ")");
+}
+
+void TcpBackend::shutdown_children() {
+  WireWriter w;
+  w.u8(kCmdShutdown);
+  for (auto& ch : ctrl_) {
+    if (!ch.valid()) continue;
+    try {
+      ch.send_frame(w.data(), w.size());
+    } catch (const ChannelError&) {
+      // Already dead — reaped below.
+    }
+  }
+  // Closing the control channels unblocks any child still waiting on a
+  // command; mesh EOFs then cascade through children blocked mid-exchange.
+  ctrl_.clear();
+  for (const pid_t pid : pids_) {
+    if (pid <= 0) continue;
+    // Bounded reap: a healthy child exits promptly on shutdown/EOF; a
+    // wedged one gets SIGKILL after ~5s rather than hanging the parent.
+    bool reaped = false;
+    int status = 0;
+    for (int spin = 0; spin < 500 && !reaped; ++spin) {
+      const pid_t got = ::waitpid(pid, &status, WNOHANG);
+      if (got == pid || got < 0) {
+        reaped = true;
+        break;
+      }
+      ::usleep(10 * 1000);
+    }
+    if (!reaped) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+    }
+  }
+  pids_.clear();
+}
+
+const TcpStats* tcp_stats(const sim::DeliveryBackend& backend) {
+  const auto* tcp = dynamic_cast<const TcpBackend*>(&backend);
+  return tcp != nullptr ? &tcp->stats() : nullptr;
+}
+
+std::unique_ptr<sim::DeliveryBackend> make_tcp_backend(std::size_t num_nodes,
+                                                       unsigned shards) {
+  return std::make_unique<TcpBackend>(num_nodes, shards);
+}
+
+}  // namespace fl::net

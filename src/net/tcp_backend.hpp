@@ -1,0 +1,75 @@
+// The TCP delivery backend: shard processes over loopback sockets, with
+// the in-process engine as a per-round oracle.
+//
+// FL_SIM_BACKEND=tcp:<S> (or Network::set_backend) splits the node set
+// into S contiguous shards, each owned by a forked child process. Every
+// round:
+//
+//   * the parent releases the round over per-child control socketpairs
+//     (the frame carries the global delivered/carried counts, so
+//     Context::network_silent() reads the same global fact everywhere);
+//   * each child steps its own shard's programs, wire-encodes the sends
+//     whose destination lives in another shard (sim/wire.hpp framing,
+//     explicit little-endian), and swaps frames with every peer over
+//     loopback TCP — the poll-driven all-to-all of net/channel.hpp;
+//   * each child merges arrivals with the same counting-sort engine the
+//     in-process backend uses (one lane per *sender shard*, so any
+//     contiguous ascending partition reproduces the canonical
+//     per-destination order), runs the same CONGEST admission pass, and
+//     reports a round-sync barrier frame: delivered/carried/done counts,
+//     per-directed-edge word tallies, and its full admitted stream with
+//     wire-encoded payloads;
+//   * the parent — which stepped and merged every node itself, as the
+//     oracle — verifies each child's report against its own arena
+//     (headers, tallies, counts), then replaces its arena payloads with
+//     the wire-decoded ones, so what protocols consume on the next step
+//     really crossed a socket. Any disagreement throws BackendMismatch
+//     naming the shard, round and first divergence.
+//
+// This is contract C14 made executable every single round, not just at
+// the end of a run: RunStats, Metrics and golden traces of a tcp:<S> run
+// are bit-identical to the in-process run for every S, because the parent
+// *is* the in-process run and the children must match it to be allowed to
+// proceed.
+//
+// Requirements the transport adds: every payload type that crosses a
+// round must be wire-encodable (declare fields with FL_WIRE_FIELDS; the
+// parent fails fast with the offending type's name). Programs run in the
+// parent *and* in their shard's child, so they must be deterministic
+// functions of (state, inbox, rng) — which the determinism contracts
+// already require.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "sim/backend.hpp"
+
+namespace fl::net {
+
+/// A shard process disagreed with the in-process oracle — the C14
+/// cross-backend determinism contract is broken (engine bug, nondeterministic
+/// protocol, or a payload whose codec does not round-trip).
+class BackendMismatch : public std::runtime_error {
+ public:
+  explicit BackendMismatch(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Advisory transport counters for bench_micro_perf --backend. Wall-clock
+/// data flows out of the engine only (C12): nothing reads these back.
+struct TcpStats {
+  std::uint64_t rounds = 0;       ///< merge barriers completed
+  std::uint64_t barrier_ns = 0;   ///< parent time inside the socket barrier
+  std::uint64_t wire_bytes = 0;   ///< child<->child + child->parent bytes
+};
+
+/// The backend's stats when `backend` is a TcpBackend, else null.
+const TcpStats* tcp_stats(const sim::DeliveryBackend& backend);
+
+// make_tcp_backend lives in sim/backend.hpp so the sim layer can dispatch
+// FL_SIM_BACKEND without including net headers.
+
+}  // namespace fl::net

@@ -1,0 +1,400 @@
+#include "sim/backend.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "sim/network.hpp"
+#include "util/assert.hpp"
+
+namespace fl::sim {
+
+using graph::NodeId;
+
+BackendConfig default_backend_config() {
+  BackendConfig cfg;
+  const char* env = std::getenv("FL_SIM_BACKEND");
+  if (env == nullptr || *env == '\0') return cfg;
+  if (std::strcmp(env, "inproc") == 0 || std::strcmp(env, "in-process") == 0)
+    return cfg;
+  FL_REQUIRE(std::strncmp(env, "tcp:", 4) == 0,
+             "FL_SIM_BACKEND must be 'inproc' or 'tcp:<shards>'");
+  const char* num = env + 4;
+  FL_REQUIRE(*num >= '0' && *num <= '9',
+             "FL_SIM_BACKEND=tcp:<shards> needs a positive shard count");
+  char* end = nullptr;
+  const unsigned long long shards = std::strtoull(num, &end, 10);
+  FL_REQUIRE(end != num && *end == '\0' && shards >= 1 && shards <= 32,
+             "FL_SIM_BACKEND=tcp:<shards> needs 1 <= shards <= 32");
+  cfg.kind = BackendKind::Tcp;
+  cfg.tcp_shards = static_cast<unsigned>(shards);
+  return cfg;
+}
+
+std::unique_ptr<DeliveryBackend> make_backend(const BackendConfig& cfg,
+                                              std::size_t num_nodes) {
+  switch (cfg.kind) {
+    case BackendKind::Tcp:
+      return fl::net::make_tcp_backend(num_nodes, cfg.tcp_shards);
+    case BackendKind::InProcess:
+      break;
+  }
+  return std::make_unique<InProcessBackend>(num_nodes);
+}
+
+// ------------------------------------------------------ InProcessBackend
+
+InProcessBackend::InProcessBackend(std::size_t num_nodes) {
+  arena_offsets_.assign(num_nodes + 1, 0);
+}
+
+void InProcessBackend::on_plan(Network& net) {
+  chunk_weight_.assign(net.shards_.size(), 0);
+  if (net.congest_.enforced()) {
+    // Budget state is per *directed* edge (index 2e + direction); carry
+    // queues and admitted buffers are per destination shard. None of it
+    // exists in LOCAL mode, which keeps the unbudgeted engine untouched.
+    congest_edges_.assign(
+        2 * static_cast<std::size_t>(net.graph_->num_edges()),
+        EdgeBudgetState{});
+    congest_chunks_.resize(net.shards_.size());
+    congest_counts_.assign(net.graph_->num_nodes(), 0);
+  }
+}
+
+InboxView InProcessBackend::inbox(NodeId v) const {
+  return arena_.range(arena_offsets_[v], arena_offsets_[v + 1]);
+}
+
+std::uint64_t InProcessBackend::max_carried_words() const {
+  std::uint64_t max_words = 0;
+  for (const auto& chunk : congest_chunks_)
+    for (std::size_t i = 0; i < chunk.carry.size(); ++i)
+      max_words = std::max<std::uint64_t>(
+          max_words, chunk.carry.header(i).size_hint_words);
+  return max_words;
+}
+
+std::uint64_t InProcessBackend::plane_allocations() const {
+  std::uint64_t total = arena_.allocations() + arena_next_.allocations();
+  for (const auto& chunk : congest_chunks_) {
+    total += chunk.carry.allocations() + chunk.carry_next.allocations() +
+             chunk.admitted.allocations();
+  }
+  return total;
+}
+
+void InProcessBackend::debug_mutate_carry(Network& net, unsigned chunk) {
+  FL_REQUIRE(chunk < congest_chunks_.size(), "carry chunk out of range");
+  if (net.check_) net.check_->touch_carry(chunk, "carry queue");
+  // Harmless when legally reached: the queue's contents are untouched.
+  auto& q = congest_chunks_[chunk].carry_next;
+  q.reserve(q.size());
+}
+
+std::uint64_t InProcessBackend::merge_barrier(Network& net) {
+  // Phase 2 — merge lanes: this round's sends become next round's inboxes.
+  std::uint64_t count = 0;
+  for (const auto& lane : net.lanes_) count += lane.outbox.size();
+  {
+    const obs::SpanScope span(net.trace_.get(), obs::SpanKind::MergePhase, 0,
+                              net.round_);
+    merge_lanes(net, count);
+  }
+  // Phase 2b — congest admission: the merged arena is the canonical
+  // (thread-count-invariant) candidate order, so metering it — rather
+  // than the per-lane outboxes — keeps budgeted delivery bit-identical
+  // across lane counts for free. `count` becomes what was *delivered*.
+  if (net.congest_.enforced()) {
+    const obs::SpanScope span(net.trace_.get(), obs::SpanKind::AdmitPhase, 0,
+                              net.round_);
+    count = congest_admit(net);
+  }
+  return count;
+}
+
+void InProcessBackend::merge_lanes(Network& net, std::uint64_t total) {
+  // Deterministic shard merge into the flat arena, in two steps that touch
+  // each message exactly once (PR 2 measured an extra message pass at
+  // ~25% end-to-end, so the merge must stay offsets-arithmetic + one
+  // relocation):
+  //
+  //   1. Offsets: walk destinations in order; within a destination, give
+  //      lane s the slot range after lanes < s (counts were kept by
+  //      enqueue). The same walk writes each lane's private scatter
+  //      cursors, zeroes its counts for the next round, and leaves
+  //      arena_offsets_ as the final CSR table directly. With a pool the
+  //      walk runs chunk-parallel over the node shards: each chunk totals
+  //      its counts, a sequential O(S) exclusive prefix over the chunk
+  //      totals seeds each chunk's base offset, and a second chunked pass
+  //      lays out offsets + cursors from those bases — the resulting
+  //      arithmetic is identical to the sequential walk.
+  //   2. Relocation: every lane scatters its own outbox in send order.
+  //      Cursor ranges are disjoint per (lane, destination), so lanes
+  //      relocate concurrently with no shared writes.
+  //
+  // Send order within a lane is sequential order within its contiguous
+  // shard, and step 1 ordered lanes ascending within each destination, so
+  // per-destination arrival order is bit-identical to the sequential run
+  // — the counting sort is stable across the shard concatenation. The
+  // same property is what makes the TCP backend's shard processes agree
+  // with the parent: any contiguous ascending partition merges to the
+  // same per-destination order (ascending sender id, send order within).
+  // arena_offsets_ is deliberately 32-bit (half the randomly accessed side
+  // array); a round with >= 2^32 - 1 messages would silently wrap it, so
+  // the large-n path must die here with a message naming the cure.
+  FL_REQUIRE(total < std::numeric_limits<std::uint32_t>::max(),
+             "round message count overflows the 32-bit arena offsets "
+             "(>= 2^32 - 1 messages in one round); split the round or "
+             "promote arena_offsets_ to uint64_t");
+  const NodeId n = net.graph_->num_nodes();
+  if (!net.pool_) {
+    LaneScope scope(net.check_.get(), 0, EnginePhase::Merge);
+    std::uint32_t sum = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (net.check_) net.check_->touch_merge_dest(v, "per-destination offsets");
+      arena_offsets_[v] = sum;
+      for (auto& lane : net.lanes_) {
+        const std::uint32_t c = lane.dest_counts[v];
+        lane.dest_counts[v] = 0;  // ready for next round's enqueues
+        lane.cursors[v] = sum;
+        sum += c;
+      }
+    }
+    arena_offsets_[n] = sum;
+  } else {
+    // Chunk c owns destination range shards_[c]; it only touches
+    // dest_counts/cursors entries inside that range (across all lanes),
+    // so the two chunked passes share no writable state between chunks.
+    net.pool_->run([&](unsigned c) {
+      LaneScope scope(net.check_.get(), c, EnginePhase::Merge);
+      const ShardRange range = net.shards_[c];
+      std::uint64_t w = 0;
+      for (NodeId v = range.begin; v < range.end; ++v)
+        for (const auto& lane : net.lanes_) w += lane.dest_counts[v];
+      chunk_weight_[c] = w;
+    });
+    std::uint64_t base = 0;
+    for (auto& w : chunk_weight_) {
+      const std::uint64_t c = w;
+      w = base;
+      base += c;
+    }
+    net.pool_->run([&](unsigned c) {
+      LaneScope scope(net.check_.get(), c, EnginePhase::Merge);
+      const ShardRange range = net.shards_[c];
+      auto sum = static_cast<std::uint32_t>(chunk_weight_[c]);
+      for (NodeId v = range.begin; v < range.end; ++v) {
+        if (net.check_) net.check_->touch_merge_dest(v, "per-destination offsets");
+        arena_offsets_[v] = sum;
+        for (auto& lane : net.lanes_) {
+          const std::uint32_t cnt = lane.dest_counts[v];
+          lane.dest_counts[v] = 0;
+          lane.cursors[v] = sum;
+          sum += cnt;
+        }
+      }
+    });
+    arena_offsets_[n] = static_cast<std::uint32_t>(total);
+  }
+  arena_.resize(static_cast<std::size_t>(total));
+  auto scatter = [&](unsigned s) {
+    LaneScope scope(net.check_.get(), s, EnginePhase::Merge);
+    const obs::SpanScope span(net.trace_.get(), obs::SpanKind::MergeLane, s,
+                              net.round_);
+    // The scatter writes arena slots for *foreign* destinations — that is
+    // the merge contract (cursor ranges are disjoint per lane) — but it
+    // may only drain its own outbox and cursors. Headers relocate with a
+    // plain 16-byte assignment; payloads move once, here.
+    if (net.check_) net.check_->touch_lane(s, EnginePhase::Merge,
+                                           "outbox scatter");
+    SendLane& lane = net.lanes_[s];
+    for (std::size_t i = 0; i < lane.outbox.size(); ++i) {
+      const MessageHeader& h = lane.outbox.header(i);
+      const std::uint32_t slot = lane.cursors[h.to]++;
+      arena_.header(slot) = h;
+      arena_.payload(slot) = std::move(lane.outbox.payload(i));
+    }
+    lane.outbox.clear();
+  };
+  if (net.pool_) {
+    net.pool_->run(scatter);
+  } else {
+    // Sequential delivery is not always single-lane: a TCP shard child
+    // keeps one lane per peer shard and merges them all on one thread.
+    for (unsigned s = 0; s < net.lanes_.size(); ++s) scatter(s);
+  }
+  for (auto& lane : net.lanes_) {
+    net.metrics_.words_total += lane.words;
+    lane.words = 0;
+    if (lane.max_words > net.metrics_.max_message_words)
+      net.metrics_.max_message_words = lane.max_words;  // lane max is monotone
+  }
+}
+
+std::uint64_t InProcessBackend::congest_admit(Network& net) {
+  // The CONGEST admission pass (congest.hpp). Candidates for node v this
+  // round are its chunk's carried messages for v (FIFO, from earlier
+  // rounds) followed by v's freshly merged arena segment; both orders are
+  // bit-identical across thread counts, so admission is too. Per directed
+  // edge the rule is a B-words-per-round FIFO channel:
+  //
+  //   * on the edge's first touch of a round its capacity is B, plus the
+  //     capacity it banked while blocked in the immediately preceding
+  //     round(s) — that is what lets one K-word message cross in
+  //     ceil(K / B) rounds instead of livelocking;
+  //   * a message is admitted iff the edge still has capacity >= its
+  //     words and no earlier message was deferred this round (FIFO: once
+  //     one message on the edge waits, everything behind it waits);
+  //   * under Strict nothing ever waits — the first overflow throws.
+  //
+  // Three steps mirror the offsets pass: decide (chunk-parallel, all
+  // state destination-owned), prefix chunk totals (sequential O(S)),
+  // relocate into a fresh arena + rewrite offsets (chunk-parallel).
+  const std::uint64_t budget = net.congest_.words_per_edge_per_round;
+  const bool strict = net.congest_.policy == CongestPolicy::Strict;
+  const std::uint64_t stamp = net.round_ + 1;  // this round; never the 0 init
+  auto decide = [&](unsigned c) {
+    LaneScope scope(net.check_.get(), c, EnginePhase::Admit);
+    const obs::SpanScope span(net.trace_.get(), obs::SpanKind::AdmitLane, c,
+                              net.round_);
+    const ShardRange range = net.shards_[c];
+    CongestChunk& chunk = congest_chunks_[c];
+    if (net.check_) net.check_->touch_carry(c, "carry queue");
+    chunk.admitted.clear();
+    chunk.carry_next.clear();
+    // The budget decision reads only the 16-byte header; the payload is
+    // moved once, wherever the message lands (admitted or carried). The
+    // Strict throw reads the payload type, but that path never returns.
+    auto consider = [&](const MessageHeader& h, Payload& p) {
+      const std::size_t key = 2 * static_cast<std::size_t>(h.edge) +
+                              (h.to > h.from ? 1 : 0);
+      // A directed edge delivers to exactly one node, so its budget state
+      // belongs to the destination's chunk — the property that lets the
+      // admission pass parallelize with no shared writes.
+      if (net.check_) net.check_->touch_admit_dest(h.to, "per-edge budget tally");
+      EdgeBudgetState& st = congest_edges_[key];
+      if (st.stamp != stamp) {
+        const bool backlogged = st.blocked && st.stamp + 1 == stamp;
+        st.remaining = (backlogged ? st.remaining : 0) + budget;
+        st.blocked = false;
+        st.stamp = stamp;
+      }
+      const std::uint64_t w = h.size_hint_words;
+      if (!st.blocked && st.remaining >= w) {
+        st.remaining -= w;
+        chunk.admitted.push_back(h, std::move(p));
+        return;
+      }
+      if (strict) {
+        const std::type_info* held = p.type();
+        throw CongestViolation(
+            "CONGEST budget exceeded: edge " + std::to_string(h.edge) +
+                " (" + std::to_string(h.from) + " -> " +
+                std::to_string(h.to) + ") would carry " +
+                std::to_string(budget - st.remaining + w) + " words in round " +
+                std::to_string(net.round_) + " (budget " +
+                std::to_string(budget) +
+                " words/edge/round); offending payload: " +
+                (held == nullptr ? std::string("<empty>")
+                                 : detail::type_name(*held)) +
+                "; delivery backend: " + std::string(name()),
+            h.edge, h.from, h.to, net.round_, budget - st.remaining + w,
+            budget);
+      }
+      st.blocked = true;
+      ++chunk.deferred_events;
+      if (net.check_) net.check_->touch_carry(c, "carry queue");
+      chunk.carry_next.push_back(h, std::move(p));
+    };
+    std::size_t cursor = 0;
+    for (NodeId v = range.begin; v < range.end; ++v) {
+      const std::size_t before = chunk.admitted.size();
+      for (; cursor < chunk.carry.size() && chunk.carry.header(cursor).to == v;
+           ++cursor)
+        consider(chunk.carry.header(cursor), chunk.carry.payload(cursor));
+      for (std::uint32_t i = arena_offsets_[v]; i < arena_offsets_[v + 1]; ++i)
+        consider(arena_.header(i), arena_.payload(i));
+      congest_counts_[v] =
+          static_cast<std::uint32_t>(chunk.admitted.size() - before);
+    }
+    chunk_weight_[c] = chunk.admitted.size();
+  };
+  if (net.pool_) {
+    net.pool_->run(decide);
+  } else {
+    for (unsigned c = 0; c < congest_chunks_.size(); ++c) decide(c);
+  }
+  std::uint64_t admitted_total = 0;
+  carry_total_ = 0;
+  for (unsigned c = 0; c < congest_chunks_.size(); ++c) {
+    CongestChunk& chunk = congest_chunks_[c];
+    chunk.carry.swap(chunk.carry_next);
+    carry_total_ += chunk.carry.size();
+    net.metrics_.deferrals_total += chunk.deferred_events;
+    chunk.deferred_events = 0;
+    const std::uint64_t w = chunk_weight_[c];
+    chunk_weight_[c] = admitted_total;  // becomes the chunk's arena base
+    admitted_total += w;
+  }
+  if (carry_total_ > net.metrics_.carry_peak)
+    net.metrics_.carry_peak = carry_total_;
+  if (net.trace_ && carry_total_ > 0) {
+    // Per-directed-edge carry occupancy: within a chunk's carry the same
+    // directed edge's messages need not be contiguous (arrival order
+    // interleaves edges sharing a destination), so count runs over the
+    // sorted key list. Adds are order-independent, the sort makes the
+    // walk deterministic anyway, and the O(c log c) cost exists only with
+    // tracing on.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(static_cast<std::size_t>(carry_total_));
+    for (const auto& chunk : congest_chunks_) {
+      for (std::size_t i = 0; i < chunk.carry.size(); ++i) {
+        const MessageHeader& h = chunk.carry.header(i);
+        keys.push_back(2 * static_cast<std::uint64_t>(h.edge) +
+                       (h.to > h.from ? 1 : 0));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < keys.size();) {
+      std::size_t j = i;
+      while (j < keys.size() && keys[j] == keys[i]) ++j;
+      net.trace_->edge_carry_hist().add(j - i);
+      i = j;
+    }
+  }
+  FL_REQUIRE(admitted_total < std::numeric_limits<std::uint32_t>::max(),
+             "admitted message count overflows the 32-bit arena offsets "
+             "(>= 2^32 - 1 messages admitted in one round); split the round "
+             "or promote arena_offsets_ to uint64_t");
+  arena_next_.resize(static_cast<std::size_t>(admitted_total));
+  auto relocate = [&](unsigned c) {
+    LaneScope scope(net.check_.get(), c, EnginePhase::Admit);
+    const obs::SpanScope span(net.trace_.get(), obs::SpanKind::AdmitLane, c,
+                              net.round_);
+    const ShardRange range = net.shards_[c];
+    CongestChunk& chunk = congest_chunks_[c];
+    auto base = static_cast<std::uint32_t>(chunk_weight_[c]);
+    for (std::size_t i = 0; i < chunk.admitted.size(); ++i) {
+      arena_next_.header(base + i) = chunk.admitted.header(i);
+      arena_next_.payload(base + i) = std::move(chunk.admitted.payload(i));
+    }
+    for (NodeId v = range.begin; v < range.end; ++v) {
+      if (net.check_) net.check_->touch_admit_dest(v, "admitted offsets");
+      arena_offsets_[v] = base;
+      base += congest_counts_[v];
+    }
+  };
+  if (net.pool_) {
+    net.pool_->run(relocate);
+  } else {
+    for (unsigned c = 0; c < congest_chunks_.size(); ++c) relocate(c);
+  }
+  arena_offsets_[net.graph_->num_nodes()] =
+      static_cast<std::uint32_t>(admitted_total);
+  arena_.swap(arena_next_);
+  return admitted_total;
+}
+
+}  // namespace fl::sim

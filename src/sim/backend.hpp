@@ -1,0 +1,186 @@
+// The delivery backend interface: who moves this round's sends.
+//
+// sim::Network owns the round *pipeline* — quiesce check, shard stepping,
+// metrics, tracing — but the delivery step itself (lane outboxes ->
+// merge barrier -> per-node inbox views, CONGEST admission included) is a
+// DeliveryBackend. Two implementations exist:
+//
+//   * InProcessBackend — the SoA-arena engine the repo grew up with:
+//     counting-sort merge into a flat double-buffered arena, chunk-
+//     parallel congest admission, bit-deterministic at every thread
+//     count. This is the *oracle*: whatever any other backend delivers
+//     must match it bit for bit.
+//   * TcpBackend (src/net/tcp_backend.hpp) — shards are forked OS
+//     processes exchanging wire-encoded messages over loopback TCP, with
+//     a round-sync barrier carrying per-edge word tallies. It *contains*
+//     an InProcessBackend: the parent runs the full in-process merge as
+//     the reference, verifies every shard's digests against it each
+//     round, and swaps in the wire-decoded payloads so what protocols
+//     consume really crossed a socket.
+//
+// Selection: FL_SIM_BACKEND seeds every Network's default ("" / "inproc"
+// = in-process, "tcp:<shards>" = TCP over loopback), and
+// Network::set_backend overrides per run — the same pattern as
+// FL_SIM_CONGEST / FL_SIM_THREADS. The cardinal contract is C14
+// (docs/CONTRACTS.md): same seed => identical RunStats, Metrics and
+// golden-trace hashes across backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "graph/ids.hpp"
+#include "sim/message.hpp"
+
+namespace fl::net {
+class TcpBackend;
+}  // namespace fl::net
+
+namespace fl::sim {
+
+class Network;
+
+enum class BackendKind : std::uint8_t {
+  InProcess,  ///< single-process SoA arena (the oracle)
+  Tcp,        ///< forked shard processes over loopback TCP
+};
+
+struct BackendConfig {
+  BackendKind kind = BackendKind::InProcess;
+  /// Shard-process count for BackendKind::Tcp (clamped to the node
+  /// count at plan time); ignored in-process.
+  unsigned tcp_shards = 1;
+};
+
+/// BackendConfig{} unless FL_SIM_BACKEND is set. Accepted forms:
+/// "inproc" (or "in-process") and "tcp:<shards>" with 1 <= shards <= 32.
+/// Mirrors default_congest_config(): the environment seeds every
+/// Network's default, callers may still override per run.
+BackendConfig default_backend_config();
+
+/// The delivery step of the round pipeline. One backend instance is owned
+/// by one Network; every hook receives the Network so backends keep no
+/// duplicate topology state.
+class DeliveryBackend {
+ public:
+  virtual ~DeliveryBackend() = default;
+
+  /// Short human name for diagnostics ("in-process", "tcp:4"); congest
+  /// Strict violations and cross-backend mismatches cite it.
+  virtual std::string_view name() const = 0;
+
+  /// Called once from begin_if_needed, after shards/lanes and the congest
+  /// plan are final and *before* the ExecPool spins up its threads — the
+  /// TCP backend forks its shard processes here.
+  virtual void on_plan(Network& net) = 0;
+
+  /// Called right before every step phase (including the on_start round).
+  /// The TCP backend releases its shard processes into the round here so
+  /// they step concurrently with the parent.
+  virtual void begin_round(Network& net, bool starting) = 0;
+
+  /// The merge barrier: drain the lane outboxes into next round's inboxes,
+  /// applying congest admission when enforced. Returns the number of
+  /// messages delivered (admitted) this round.
+  virtual std::uint64_t merge_barrier(Network& net) = 0;
+
+  /// Messages delivered to `v` by the last merge_barrier (the inbox-view
+  /// lifecycle: valid until the next merge).
+  virtual InboxView inbox(graph::NodeId v) const = 0;
+
+  /// The full delivered plane of the last merge (tracing walks it).
+  virtual const MessagePlanes& delivered() const = 0;
+
+  /// Messages parked in congest carry queues.
+  virtual std::uint64_t carried() const = 0;
+
+  /// Largest word size among carried messages (run_until_drained's
+  /// banking-bound diagnostic).
+  virtual std::uint64_t max_carried_words() const = 0;
+
+  /// Capacity-growth events across every plane this backend owns
+  /// (Network::debug_plane_allocations adds the lane outboxes).
+  virtual std::uint64_t plane_allocations() const = 0;
+
+  /// Test-only: guarded no-op mutation of a congest carry queue, used to
+  /// provoke ownership-check violations (see Network::debug_mutate_carry).
+  virtual void debug_mutate_carry(Network& net, unsigned chunk) = 0;
+};
+
+/// The single-process SoA-arena delivery engine (see network.hpp's file
+/// comment for the merge + admission design). Also the base class of the
+/// TCP backend, which reuses the whole engine in the parent as the
+/// correctness oracle and in each forked shard for its own sub-merge.
+class InProcessBackend : public DeliveryBackend {
+ public:
+  explicit InProcessBackend(std::size_t num_nodes);
+
+  std::string_view name() const override { return "in-process"; }
+  void on_plan(Network& net) override;
+  void begin_round(Network& /*net*/, bool /*starting*/) override {}
+  std::uint64_t merge_barrier(Network& net) override;
+  InboxView inbox(graph::NodeId v) const override;
+  const MessagePlanes& delivered() const override { return arena_; }
+  std::uint64_t carried() const override { return carry_total_; }
+  std::uint64_t max_carried_words() const override;
+  std::uint64_t plane_allocations() const override;
+  void debug_mutate_carry(Network& net, unsigned chunk) override;
+
+ protected:
+  friend class Network;
+  friend class fl::net::TcpBackend;
+
+  void merge_lanes(Network& net, std::uint64_t total);
+  std::uint64_t congest_admit(Network& net);
+
+  // Delivery storage: this round's messages, counting-sorted by
+  // destination, held as structure-of-arrays planes (message.hpp). Node
+  // v's inbox is the arena's element range [arena_offsets_[v],
+  // arena_offsets_[v + 1]). arena_next_ is the persistent second buffer
+  // of the double-buffered arena (the admission pass relocates into it
+  // and the two swap), so steady-state rounds allocate nothing.
+  MessagePlanes arena_;
+  MessagePlanes arena_next_;
+  std::vector<std::uint32_t> arena_offsets_;  // size n + 1
+  std::vector<std::uint64_t> chunk_weight_;   // offsets scratch, size S
+
+  // CONGEST admission state (see network.hpp's original file comment and
+  // congest.hpp): per-directed-edge budget tallies, per-chunk carry /
+  // admitted planes, all destination-owned so the pass parallelizes with
+  // no shared writes.
+  struct EdgeBudgetState {
+    std::uint64_t remaining = 0;  ///< capacity left in the stamped round;
+                                  ///< banks across rounds while blocked
+    std::uint64_t stamp = 0;      ///< round + 1 of the last touch
+    bool blocked = false;         ///< a message deferred in stamped round
+  };
+  struct CongestChunk {
+    MessagePlanes carry;       // deferred; destination-ascending,
+                               // FIFO within each directed edge
+    MessagePlanes carry_next;  // double buffer for the next round
+    MessagePlanes admitted;    // this round, destination-ascending
+    std::uint64_t deferred_events = 0;
+  };
+  std::vector<EdgeBudgetState> congest_edges_;  // size 2m: 2e + (to>from)
+  std::vector<CongestChunk> congest_chunks_;    // one per shard
+  std::vector<std::uint32_t> congest_counts_;   // admitted per node, size n
+  std::uint64_t carry_total_ = 0;  // messages across all carry queues
+};
+
+/// Instantiate the backend `cfg` names for a network of `num_nodes`.
+std::unique_ptr<DeliveryBackend> make_backend(const BackendConfig& cfg,
+                                              std::size_t num_nodes);
+
+}  // namespace fl::sim
+
+namespace fl::net {
+
+/// Defined in net/tcp_backend.cpp; declared here so sim/backend.cpp can
+/// dispatch without the sim layer including net headers.
+std::unique_ptr<sim::DeliveryBackend> make_tcp_backend(std::size_t num_nodes,
+                                                       unsigned shards);
+
+}  // namespace fl::net

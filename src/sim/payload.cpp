@@ -1,0 +1,54 @@
+// Process-wide wire-type registry for Payload decoding.
+//
+// Encodable payload types register themselves here during static
+// initialization (Payload::wire_registered_ odr-used from the value
+// constructor), keyed by the FNV-1a-64 hash of the mangled type name.
+// fork()ed shard children inherit the fully-populated registry, so a
+// child can decode any type its binary can construct — no handshake or
+// schema exchange on the wire.
+
+#include "sim/payload.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fl::sim::detail {
+
+namespace {
+
+struct WireRegistry {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, const PayloadOps*> types;
+};
+
+WireRegistry& registry() {
+  // Function-local static: safe to call from any static initializer.
+  static WireRegistry r;
+  return r;
+}
+
+}  // namespace
+
+bool register_wire_type(std::uint64_t id, const PayloadOps* ops) {
+  WireRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, fresh] = r.types.emplace(id, ops);
+  if (!fresh && it->second != ops) {
+    // 64-bit FNV over distinct mangled names colliding is astronomically
+    // unlikely; failing loudly beats decoding the wrong type.
+    throw std::runtime_error("wire type id collision: " +
+                             type_name(*ops->type) + " vs " +
+                             type_name(*it->second->type));
+  }
+  return true;
+}
+
+const PayloadOps* find_wire_type(std::uint64_t id) noexcept {
+  WireRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.types.find(id);
+  return it == r.types.end() ? nullptr : it->second;
+}
+
+}  // namespace fl::sim::detail

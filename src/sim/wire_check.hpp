@@ -1,0 +1,42 @@
+// Round-trip self-check helper for wire-encodable payload structs.
+//
+// Protocol payload structs live in anonymous namespaces inside their
+// .cpp files, so tests cannot name them directly. Each protocol instead
+// exports a *_wire_selftest() hook (declared in its public header) that
+// round-trips representative instances of every payload struct through
+// Payload::wire_encode / wire_decode with this helper; tests/test_wire.cpp
+// just calls the hooks. A failure throws util::ContractViolation naming
+// the broken stage.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/payload.hpp"
+#include "util/assert.hpp"
+
+namespace fl::sim {
+
+/// Encode `value` as a Payload, decode it back through the wire-type
+/// registry, and require `eq(original, decoded)`. Also requires that the
+/// decoder consumed the stream exactly — a codec that under- or
+/// over-reads would corrupt every message framed after it.
+template <typename T, typename Eq>
+void wire_roundtrip_check(const T& value, Eq&& eq) {
+  static_assert(Payload::wire_encodable<T>,
+                "wire_roundtrip_check needs a wire-encodable type");
+  Payload p{T(value)};
+  WireWriter w;
+  p.wire_encode(w);
+  const std::uint64_t id = p.wire_type();
+  FL_REQUIRE(id != 0, "wire_roundtrip_check: payload reports no wire type");
+  WireReader r(w.span());
+  Payload q = Payload::wire_decode(id, r);
+  FL_REQUIRE(r.remaining() == 0,
+             "wire_roundtrip_check: decoder left bytes unread");
+  const T* back = q.template get_if<T>();
+  FL_REQUIRE(back != nullptr,
+             "wire_roundtrip_check: decoded payload holds the wrong type");
+  FL_REQUIRE(eq(value, *back), "wire_roundtrip_check: value mismatch");
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,410 @@
+// Cross-backend determinism tests for the TCP delivery backend — contract
+// C14 (docs/CONTRACTS.md): for any fixed seed and congest config, RunStats,
+// Metrics, per-node delivery logs and the pinned golden trace are
+// bit-identical whether delivery runs in-process or across forked shard
+// processes over loopback sockets. The TcpBackend verifies itself against
+// the in-process oracle every round, so these tests double as an
+// end-to-end exercise of the wire codecs, the frame channels and the
+// round-sync barrier under real traffic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "net/tcp_backend.hpp"
+#include "sim/backend.hpp"
+#include "sim/congest.hpp"
+#include "sim/network.hpp"
+#include "sim/wire.hpp"
+#include "trace_hash.hpp"
+#include "util/assert.hpp"
+
+namespace fl::sim {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+/// Save/restore FL_SIM_BACKEND around tests that mutate it, so the suite
+/// behaves identically whether or not CI launched it under tcp:<S>.
+class ScopedBackendEnv {
+ public:
+  ScopedBackendEnv() {
+    const char* cur = std::getenv("FL_SIM_BACKEND");
+    had_ = cur != nullptr;
+    if (had_) saved_ = cur;
+  }
+  ~ScopedBackendEnv() {
+    if (had_) {
+      setenv("FL_SIM_BACKEND", saved_.c_str(), 1);
+    } else {
+      unsetenv("FL_SIM_BACKEND");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+// ----------------------------------------------------- config & selection
+
+TEST(BackendConfig, DefaultsToInProcess) {
+  const ScopedBackendEnv guard;
+  unsetenv("FL_SIM_BACKEND");
+  EXPECT_EQ(default_backend_config().kind, BackendKind::InProcess);
+  setenv("FL_SIM_BACKEND", "inproc", 1);
+  EXPECT_EQ(default_backend_config().kind, BackendKind::InProcess);
+  setenv("FL_SIM_BACKEND", "in-process", 1);
+  EXPECT_EQ(default_backend_config().kind, BackendKind::InProcess);
+}
+
+TEST(BackendConfig, ParsesTcpShardCounts) {
+  const ScopedBackendEnv guard;
+  setenv("FL_SIM_BACKEND", "tcp:4", 1);
+  const BackendConfig cfg = default_backend_config();
+  EXPECT_EQ(cfg.kind, BackendKind::Tcp);
+  EXPECT_EQ(cfg.tcp_shards, 4u);
+}
+
+TEST(BackendConfig, RejectsMalformedValues) {
+  const ScopedBackendEnv guard;
+  for (const char* bad : {"tcp", "tcp:", "tcp:0", "tcp:33", "tcp:two", "udp:2",
+                          "tcp:2x"}) {
+    setenv("FL_SIM_BACKEND", bad, 1);
+    EXPECT_THROW(default_backend_config(), util::ContractViolation)
+        << "accepted FL_SIM_BACKEND=" << bad;
+  }
+}
+
+TEST(BackendConfig, NetworkPicksUpEnvAndNamesItself) {
+  const ScopedBackendEnv guard;
+  setenv("FL_SIM_BACKEND", "tcp:3", 1);
+  const Graph g = graph::ring(6);
+  Network net(g, Knowledge::EdgeIds, 1);
+  EXPECT_EQ(net.backend_config().kind, BackendKind::Tcp);
+  EXPECT_EQ(net.backend_config().tcp_shards, 3u);
+  EXPECT_EQ(net.backend().name(), "tcp:3");
+  unsetenv("FL_SIM_BACKEND");
+  Network inproc(g, Knowledge::EdgeIds, 1);
+  EXPECT_EQ(inproc.backend().name(), "in-process");
+}
+
+TEST(BackendConfig, SetBackendLockedOnceStarted) {
+  const Graph g = graph::ring(4);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.install([](NodeId) {
+    class Silent final : public NodeProgram {
+     public:
+      void on_start(Context&) override {}
+      void on_round(Context&, InboxView) override {}
+      bool done() const override { return true; }
+    };
+    return std::make_unique<Silent>();
+  });
+  net.run(2);
+  EXPECT_THROW(net.set_backend({BackendKind::Tcp, 2}),
+               util::ContractViolation);
+}
+
+// -------------------------------------------------- cross-backend chatter
+
+/// The determinism workload from test_exec.cpp: full per-node delivery
+/// logs under pseudo-random sends that exercise both send-resolution
+/// paths. Payloads are std::uint64_t — wire-encodable by default.
+class ChatterProbe final : public NodeProgram {
+ public:
+  ChatterProbe(NodeId self, unsigned active, std::uint32_t words = 1)
+      : self_(self), active_(active), words_(words) {}
+
+  std::vector<std::tuple<std::size_t, NodeId, EdgeId, std::uint64_t>> heard;
+
+  void on_start(Context& ctx) override { maybe_send(ctx); }
+
+  void on_round(Context& ctx, InboxView inbox) override {
+    for (const auto& m : inbox) {
+      EXPECT_EQ(m.to(), self_);
+      heard.emplace_back(ctx.round(), m.from(), m.edge(),
+                         payload_as<std::uint64_t>(m));
+    }
+    maybe_send(ctx);
+  }
+
+  bool done() const override { return true; }
+
+ private:
+  void maybe_send(Context& ctx) {
+    if (ctx.round() >= active_) return;
+    for (const EdgeId e : ctx.incident_edges()) {
+      if (ctx.rng().bernoulli(0.25)) continue;
+      ctx.send(e, ctx.rng()(), words_);
+    }
+  }
+
+  NodeId self_;
+  unsigned active_;
+  std::uint32_t words_;
+};
+
+struct ChatterResult {
+  RunStats stats;
+  Metrics metrics;
+  std::vector<std::vector<std::tuple<std::size_t, NodeId, EdgeId,
+                                     std::uint64_t>>> logs;
+};
+
+ChatterResult run_chatter(const Graph& g, const BackendConfig& backend,
+                          const CongestConfig& congest = {},
+                          std::uint32_t words = 1) {
+  Network net(g, Knowledge::EdgeIds, 7);
+  net.set_backend(backend);
+  net.set_congest(congest);
+  net.install_all<ChatterProbe>(8u, words);
+  ChatterResult res;
+  res.stats = net.run(600);
+  EXPECT_TRUE(res.stats.terminated);
+  res.metrics = net.metrics();
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    res.logs.push_back(net.program_as<ChatterProbe>(v).heard);
+  return res;
+}
+
+void expect_identical(const ChatterResult& a, const ChatterResult& b) {
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.terminated, b.stats.terminated);
+  EXPECT_EQ(a.metrics.messages_total, b.metrics.messages_total);
+  EXPECT_EQ(a.metrics.words_total, b.metrics.words_total);
+  EXPECT_EQ(a.metrics.deferrals_total, b.metrics.deferrals_total);
+  EXPECT_EQ(a.metrics.carry_peak, b.metrics.carry_peak);
+  EXPECT_EQ(a.metrics.messages_per_round, b.metrics.messages_per_round);
+  EXPECT_EQ(a.metrics.messages_per_node, b.metrics.messages_per_node);
+  EXPECT_EQ(a.logs, b.logs);
+}
+
+TEST(TcpBackend, BitIdenticalToInProcessOnEveryFamily) {
+  // The C14 matrix: dense (ER), sparse (tree) and skewed (power-law)
+  // graphs, each at 1, 2 and 4 shard processes — RunStats, Metrics and
+  // every per-node delivery log must equal the in-process run. (The
+  // backend also self-verifies per round; a divergence would have thrown
+  // BackendMismatch long before these EXPECTs see it.)
+  util::Xoshiro256 dense_rng(123), sparse_rng(124), skew_rng(125);
+  const Graph dense = graph::erdos_renyi_gnm(61, 240, dense_rng);
+  const Graph sparse = graph::random_tree(67, sparse_rng);
+  const Graph skewed = graph::barabasi_albert(56, 5, skew_rng);
+  for (const Graph* g : {&dense, &sparse, &skewed}) {
+    const auto oracle = run_chatter(*g, {BackendKind::InProcess});
+    EXPECT_GT(oracle.stats.messages, 0u);
+    for (const unsigned shards : {1u, 2u, 4u}) {
+      const auto tcp = run_chatter(*g, {BackendKind::Tcp, shards});
+      expect_identical(oracle, tcp);
+    }
+  }
+}
+
+TEST(TcpBackend, BitIdenticalUnderBindingCongestBudget) {
+  // A binding CONGEST budget makes the carry queues and the per-edge
+  // banking logic load-bearing: deferred messages must survive rounds of
+  // re-admission identically in every shard process.
+  util::Xoshiro256 rng(321);
+  const Graph g = graph::erdos_renyi_gnm(48, 180, rng);
+  CongestConfig congest;
+  congest.words_per_edge_per_round = 2;
+  congest.policy = CongestPolicy::Defer;
+  // 3-word messages against a 2-word budget: every message needs a round
+  // of banked capacity, so the carry queues stay busy for the whole run.
+  const auto oracle =
+      run_chatter(g, {BackendKind::InProcess}, congest, /*words=*/3);
+  EXPECT_GT(oracle.metrics.deferrals_total, 0u)
+      << "budget not binding — the congest leg of C14 is not exercised";
+  for (const unsigned shards : {2u, 4u}) {
+    const auto tcp =
+        run_chatter(g, {BackendKind::Tcp, shards}, congest, /*words=*/3);
+    expect_identical(oracle, tcp);
+  }
+}
+
+TEST(TcpBackend, MatchesThePinnedGoldenTrace) {
+  // The same pinned hash that anchors the thread-count matrix
+  // (test_exec.cpp) — the strongest form of C14: a tcp:2 run reproduces
+  // the exact event stream the in-process engine has certified since the
+  // seed, bit for bit.
+  util::Xoshiro256 rng(123);
+  const Graph g = graph::erdos_renyi_gnm(97, 400, rng);
+  const auto run = run_chatter(g, {BackendKind::Tcp, 2});
+  fl::testing::TraceHash h;
+  h.u64(run.stats.rounds).u64(run.stats.messages);
+  h.u64(run.metrics.words_total);
+  for (const auto c : run.metrics.messages_per_round) h.u64(c);
+  for (const auto c : run.metrics.messages_per_node) h.u64(c);
+  for (const auto& log : run.logs) {
+    h.u64(log.size());
+    for (const auto& [round, from, edge, payload] : log)
+      h.u64(round).u64(from).u64(edge).u64(payload);
+  }
+  EXPECT_EQ(h.value(), 0xb76783e3caeb7eb4ull)
+      << "tcp:2 golden trace diverged from the in-process anchor: 0x"
+      << std::hex << h.value();
+}
+
+// ------------------------------------------------------- engine edge cases
+
+/// Node 0 sends four numbered payloads over the single edge in round 0.
+class Burst final : public NodeProgram {
+ public:
+  explicit Burst(NodeId self) : self_(self) {}
+  std::vector<unsigned> got;
+
+  void on_start(Context& ctx) override {
+    if (self_ == 0)
+      for (unsigned i = 1; i <= 4; ++i) ctx.send(ctx.incident_edges()[0], i);
+  }
+  void on_round(Context&, InboxView inbox) override {
+    for (const auto& m : inbox) got.push_back(payload_as<unsigned>(m));
+  }
+  bool done() const override { return true; }
+
+ private:
+  NodeId self_;
+};
+
+TEST(TcpBackend, PreRunSendsArriveFirstInShardProcesses) {
+  // Pre-run sends live in lane 0 before the backend exists; each shard
+  // process must deliver its own share ahead of round-0 traffic, exactly
+  // as the in-process merge does.
+  const Graph g = graph::path(2);
+  for (const unsigned shards : {1u, 2u}) {
+    Network net(g, Knowledge::EdgeIds, 1);
+    net.set_backend({BackendKind::Tcp, shards});
+    net.install_all<Burst>();  // node 0 sends 1..4 in on_start
+    Context pre(net, 1);
+    pre.send(pre.incident_edges()[0], unsigned{99});
+    const RunStats stats = net.run(5);
+    EXPECT_TRUE(stats.terminated);
+    EXPECT_EQ(stats.messages, 5u);
+    EXPECT_EQ(net.program_as<Burst>(0).got, (std::vector<unsigned>{99}));
+    EXPECT_EQ(net.program_as<Burst>(1).got,
+              (std::vector<unsigned>{1, 2, 3, 4}));
+  }
+}
+
+TEST(TcpBackend, SteppedRunsKeepShardProcessesInSync) {
+  // Layered protocols drive the network through step(); every step
+  // releases a round to the shard processes and must resume cleanly.
+  util::Xoshiro256 rng(31);
+  const Graph g = graph::erdos_renyi_gnm(40, 120, rng);
+  auto run_stepped = [&](const BackendConfig& backend) {
+    Network net(g, Knowledge::EdgeIds, 3);
+    net.set_backend(backend);
+    net.install_all<ChatterProbe>(6u);
+    net.step(4);
+    net.step(4);
+    net.run(60);
+    std::vector<std::vector<std::tuple<std::size_t, NodeId, EdgeId,
+                                       std::uint64_t>>> logs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      logs.push_back(net.program_as<ChatterProbe>(v).heard);
+    return std::pair{net.metrics().messages_total, std::move(logs)};
+  };
+  EXPECT_EQ(run_stepped({BackendKind::InProcess}),
+            run_stepped({BackendKind::Tcp, 2}));
+}
+
+TEST(TcpBackend, MoreShardsThanNodesClampsToSingletons) {
+  const Graph g = graph::ring(3);
+  const auto oracle = run_chatter(g, {BackendKind::InProcess});
+  const auto tcp = run_chatter(g, {BackendKind::Tcp, 32});
+  expect_identical(oracle, tcp);
+}
+
+TEST(TcpBackend, StrictCongestViolationNamesTheBackend) {
+  // Burst pushes 4 words through a 2-word Strict budget in one round; the
+  // violation must cite the delivering backend so a cross-backend repro
+  // names the transport it happened on.
+  const Graph g = graph::path(2);
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.set_backend({BackendKind::Tcp, 2});
+  CongestConfig congest;
+  congest.words_per_edge_per_round = 2;
+  congest.policy = CongestPolicy::Strict;
+  net.set_congest(congest);
+  net.install_all<Burst>();
+  try {
+    net.run(5);
+    FAIL() << "Strict overflow did not throw";
+  } catch (const CongestViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("delivery backend: tcp:2"),
+              std::string::npos)
+        << "violation does not name the backend: " << e.what();
+  }
+}
+
+// A payload with internal padding and no FL_WIRE_FIELDS declaration: it
+// works in-process (payloads move as values) but cannot cross a socket.
+struct Unencodable {
+  std::uint8_t tag = 1;
+  std::uint64_t value = 2;  // 7 padding bytes before this field
+};
+static_assert(!wire_encodable_v<Unencodable>,
+              "test premise: Unencodable must have no wire codec");
+
+class SendsUnencodable final : public NodeProgram {
+ public:
+  explicit SendsUnencodable(NodeId) {}
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0) ctx.send(ctx.incident_edges()[0], Unencodable{});
+  }
+  void on_round(Context&, InboxView) override {}
+  bool done() const override { return true; }
+};
+
+TEST(TcpBackend, NonEncodablePayloadFailsFastWithTheTypeName) {
+  // In-process: fine. Over sockets: the parent's encodability pre-pass
+  // must throw WireError naming the offending type, not let the shard
+  // processes die into an opaque channel EOF.
+  const Graph g = graph::path(2);
+  {
+    Network net(g, Knowledge::EdgeIds, 1);
+    net.set_backend({});  // pin in-process: an ambient FL_SIM_BACKEND=tcp
+                          // would (correctly) reject this payload too
+    net.install_all<SendsUnencodable>();
+    EXPECT_TRUE(net.run(3).terminated);
+  }
+  Network net(g, Knowledge::EdgeIds, 1);
+  net.set_backend({BackendKind::Tcp, 2});
+  net.install_all<SendsUnencodable>();
+  try {
+    net.run(3);
+    FAIL() << "non-encodable payload crossed the tcp backend";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("Unencodable"), std::string::npos)
+        << "WireError does not name the payload type: " << e.what();
+  }
+}
+
+TEST(TcpBackend, TcpStatsExposedOnlyForTcpRuns) {
+  const Graph g = graph::ring(8);
+  {
+    Network net(g, Knowledge::EdgeIds, 2);
+    net.set_backend({});  // pin in-process regardless of FL_SIM_BACKEND
+    net.install_all<ChatterProbe>(4u);
+    net.run(60);
+    EXPECT_EQ(fl::net::tcp_stats(net.backend()), nullptr);
+  }
+  Network net(g, Knowledge::EdgeIds, 2);
+  net.set_backend({BackendKind::Tcp, 2});
+  net.install_all<ChatterProbe>(4u);
+  const RunStats stats = net.run(60);
+  const fl::net::TcpStats* ts = fl::net::tcp_stats(net.backend());
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->rounds, stats.rounds);
+  EXPECT_GT(ts->wire_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace fl::sim

@@ -1,0 +1,237 @@
+// Wire-encoding tests: explicit little-endian framing primitives, the
+// default and FL_WIRE_FIELDS codecs, Payload's encode/decode registry
+// (including heap-fallback and over-aligned storage classes), and the
+// per-protocol round-trip hooks covering every payload struct in the
+// repo (topology_collect, baswana_sen, the distributed sampler's 18
+// structs, tlocal_broadcast).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/baswana_sen.hpp"
+#include "baseline/topology_collect.hpp"
+#include "core/distributed_sampler.hpp"
+#include "localsim/tlocal_broadcast.hpp"
+#include "sim/payload.hpp"
+#include "sim/wire.hpp"
+#include "sim/wire_check.hpp"
+
+namespace fl::sim {
+namespace {
+
+// ------------------------------------------------- framing primitives
+
+TEST(Wire, PrimitivesAreExplicitLittleEndian) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  const std::uint8_t expect[] = {0xAB, 0x34, 0x12, 0xEF, 0xBE, 0xAD, 0xDE,
+                                 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02,
+                                 0x01};
+  ASSERT_EQ(w.size(), sizeof(expect));
+  for (std::size_t i = 0; i < sizeof(expect); ++i)
+    EXPECT_EQ(w.data()[i], expect[i]) << "byte " << i;
+
+  WireReader r(w.span());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, ReaderUnderflowThrows) {
+  WireWriter w;
+  w.u16(7);
+  WireReader r(w.span());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_THROW(r.u8(), WireError);
+
+  WireReader r2(w.span());
+  EXPECT_THROW(r2.u64(), WireError);  // 2 bytes present, 8 wanted
+}
+
+TEST(Wire, LengthPrefixPatching) {
+  WireWriter w;
+  const std::size_t slot = w.reserve_u32();
+  w.u64(42);
+  w.patch_u32(slot, static_cast<std::uint32_t>(w.size() - slot - 4));
+  WireReader r(w.span());
+  EXPECT_EQ(r.u32(), 8u);
+  EXPECT_EQ(r.u64(), 42u);
+}
+
+TEST(Wire, DefaultCodecsRoundTrip) {
+  WireWriter w;
+  wire_put(w, std::int32_t{-5});
+  wire_put(w, true);
+  wire_put(w, 2.5);
+  wire_put(w, std::vector<std::uint32_t>{1, 2, 3});
+  wire_put(w, std::string("round-sync"));
+  wire_put(w, std::make_shared<std::uint64_t>(99));
+  wire_put(w, std::shared_ptr<std::uint64_t>{});
+
+  WireReader r(w.span());
+  EXPECT_EQ(wire_get<std::int32_t>(r), -5);
+  EXPECT_EQ(wire_get<bool>(r), true);
+  EXPECT_EQ(wire_get<double>(r), 2.5);
+  EXPECT_EQ((wire_get<std::vector<std::uint32_t>>(r)),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(wire_get<std::string>(r), "round-sync");
+  auto p = wire_get<std::shared_ptr<std::uint64_t>>(r);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 99u);
+  EXPECT_EQ(wire_get<std::shared_ptr<std::uint64_t>>(r), nullptr);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+// -------------------------------------------- encodability as a trait
+
+struct PaddedNoCodec {  // trivially copyable but padded: no default codec
+  std::uint64_t a = 0;
+  bool b = false;
+};
+
+struct UniqueRepr {  // no padding: raw-bytes default applies
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+TEST(Wire, EncodabilityFollowsRepresentation) {
+  static_assert(wire_encodable_v<std::uint32_t>);
+  static_assert(wire_encodable_v<bool>);
+  static_assert(wire_encodable_v<UniqueRepr>);
+  static_assert(wire_encodable_v<std::vector<UniqueRepr>>);
+  static_assert(wire_encodable_v<std::shared_ptr<const UniqueRepr>>);
+  // Padding bytes are indeterminate, so a padded struct must not default
+  // to raw-bytes framing — it needs FL_WIRE_FIELDS.
+  static_assert(!wire_encodable_v<PaddedNoCodec>);
+  static_assert(!wire_encodable_v<std::vector<PaddedNoCodec>>);
+}
+
+// ------------------------------- Payload storage classes on the wire
+
+struct HeapHeld {  // > 24 bytes: Payload stores it behind a heap pointer
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
+};
+FL_WIRE_FIELDS(HeapHeld, a, b, c, d);
+static_assert(!Payload::stores_inline<HeapHeld>);
+static_assert(Payload::wire_encodable<HeapHeld>);
+
+struct alignas(32) OverAligned {  // over-aligned: heap fallback too
+  std::uint64_t x = 0;
+};
+FL_WIRE_FIELDS(OverAligned, x);
+static_assert(!Payload::stores_inline<OverAligned>);
+static_assert(Payload::wire_encodable<OverAligned>);
+
+struct InlineShared {  // inline but not trivially copyable
+  std::shared_ptr<std::vector<std::uint32_t>> items;
+};
+FL_WIRE_FIELDS(InlineShared, items);
+static_assert(Payload::stores_inline<InlineShared>);
+static_assert(!Payload::trivially_relocatable<InlineShared>);
+
+struct NotEncodable {  // padded, no FL_WIRE_FIELDS: stays in-process only
+  std::uint64_t a = 0;
+  bool b = false;
+};
+static_assert(!Payload::wire_encodable<NotEncodable>);
+
+TEST(Wire, PayloadRoundTripsEveryStorageClass) {
+  wire_roundtrip_check(UniqueRepr{3, 4},
+                       [](const UniqueRepr& a, const UniqueRepr& b) {
+                         return a.a == b.a && a.b == b.b;
+                       });
+  wire_roundtrip_check(HeapHeld{1, 2, 3, 4},
+                       [](const HeapHeld& a, const HeapHeld& b) {
+                         return a.a == b.a && a.b == b.b && a.c == b.c &&
+                                a.d == b.d;
+                       });
+  wire_roundtrip_check(OverAligned{77},
+                       [](const OverAligned& a, const OverAligned& b) {
+                         return a.x == b.x;
+                       });
+  wire_roundtrip_check(
+      InlineShared{std::make_shared<std::vector<std::uint32_t>>(
+          std::vector<std::uint32_t>{5, 10, 15})},
+      [](const InlineShared& a, const InlineShared& b) {
+        return (a.items == nullptr) == (b.items == nullptr) &&
+               (a.items == nullptr || *a.items == *b.items);
+      });
+}
+
+TEST(Wire, NonEncodablePayloadThrowsWithTypeName) {
+  Payload p{NotEncodable{1, true}};
+  EXPECT_FALSE(p.can_wire_encode());
+  EXPECT_EQ(p.wire_type(), 0u);
+  WireWriter w;
+  try {
+    p.wire_encode(w);
+    FAIL() << "expected WireError";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("NotEncodable"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Wire, EmptyPayloadRefusesToEncode) {
+  Payload p;
+  WireWriter w;
+  EXPECT_THROW(p.wire_encode(w), WireError);
+}
+
+TEST(Wire, UnknownWireIdThrows) {
+  WireWriter w;
+  WireReader r(w.span());
+  EXPECT_THROW(Payload::wire_decode(0xF1CE0000DEAD0000ULL, r), WireError);
+}
+
+TEST(Wire, WireTypeIdsAreStablePerType) {
+  Payload a{UniqueRepr{1, 2}};
+  Payload b{UniqueRepr{3, 4}};
+  Payload c{HeapHeld{}};
+  EXPECT_NE(a.wire_type(), 0u);
+  EXPECT_EQ(a.wire_type(), b.wire_type());
+  EXPECT_NE(a.wire_type(), c.wire_type());
+}
+
+TEST(Wire, TruncatedStreamThrowsNotCorrupts) {
+  Payload p{HeapHeld{10, 20, 30, 40}};
+  WireWriter w;
+  p.wire_encode(w);
+  // Chop the stream one byte short of every prefix length.
+  for (std::size_t len = 0; len < w.size(); ++len) {
+    WireReader r(w.data(), len);
+    EXPECT_THROW(Payload::wire_decode(p.wire_type(), r), WireError)
+        << "prefix length " << len;
+  }
+}
+
+// -------------------------------------- every protocol payload struct
+
+TEST(WireProtocols, TopologyCollectRoundTrips) {
+  baseline::topology_collect_wire_selftest();
+}
+
+TEST(WireProtocols, BaswanaSenRoundTrips) { baseline::baswana_sen_wire_selftest(); }
+
+TEST(WireProtocols, DistributedSamplerRoundTrips) {
+  core::distributed_sampler_wire_selftest();
+}
+
+TEST(WireProtocols, TLocalBroadcastRoundTrips) {
+  localsim::tlocal_broadcast_wire_selftest();
+}
+
+}  // namespace
+}  // namespace fl::sim
